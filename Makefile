@@ -1,0 +1,28 @@
+# Developer entry points for the DeNovoSync reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench figures examples clean
+
+install:
+	pip install -e ".[dev]"
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -x -q -k "not paper_shapes and not differential"
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every paper figure into results/ (text tables).
+figures:
+	$(PYTHON) -m repro.harness.cli all --out results/
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; done
+
+clean:
+	rm -rf results .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,15 @@
+"""Helpers shared by the figure-reproduction benchmarks."""
+
+from __future__ import annotations
+
+import os
+
+
+def bench_scale() -> float:
+    """Fraction of the paper's kernel iteration counts (REPRO_BENCH_SCALE)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+
+
+def app_scale() -> float:
+    """Input scale for the Figure 7 app models (REPRO_BENCH_APP_SCALE)."""
+    return float(os.environ.get("REPRO_BENCH_APP_SCALE", "0.5"))

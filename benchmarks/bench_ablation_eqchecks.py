@@ -1,0 +1,25 @@
+"""Section 7.1.3 ablation: Herlihy equality-check modification.
+
+Paper result: removing redundant equality checks (pointer re-reads that
+only filter doomed attempts early) shortens execution for both protocols
+but helps DeNovo far more (41%/79% lower time at 16/64 cores), because
+each re-read is a cached hit under MESI but a registration miss under
+DeNovo.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_scale
+
+from repro.harness.experiments import run_eqcheck_ablation
+
+
+def test_bench_ablation_eqchecks(benchmark, figure_reporter):
+    results = benchmark.pedantic(
+        run_eqcheck_ablation,
+        kwargs={"cores": 64, "scale": bench_scale()},
+        rounds=1,
+        iterations=1,
+    )
+    for label, result in results.items():
+        figure_reporter(f"ablation_eqchecks_{label.replace(' ', '_')}", result)

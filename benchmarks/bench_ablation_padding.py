@@ -1,0 +1,24 @@
+"""Section 7.1.1 ablation: lock padding.
+
+Paper result: removing lock padding hurts MESI (false sharing between
+lock words in one line) but also narrows the MESI-vs-DeNovo gap, because
+word-granularity DeNovo must now issue separate requests for locks and
+data sharing a line.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_scale
+
+from repro.harness.experiments import run_padding_ablation
+
+
+def test_bench_ablation_padding(benchmark, figure_reporter):
+    results = benchmark.pedantic(
+        run_padding_ablation,
+        kwargs={"cores": 16, "scale": bench_scale()},
+        rounds=1,
+        iterations=1,
+    )
+    for label, result in results.items():
+        figure_reporter(f"ablation_padding_{label.replace(' ', '_')}", result)

@@ -1,0 +1,28 @@
+"""Section 3 ablation: selective vs flush-all self-invalidation.
+
+The paper assumes compiler-provided regions make acquires invalidate only
+the data the synchronization protects; without that information DeNovo
+must flush every Valid word at each acquire — always correct, but it
+destroys all cached reuse.  This bench quantifies the gap on a
+barriers+locks application (water) under DeNovoSync, against the common
+MESI baseline.
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiments import run_selfinv_ablation
+
+
+def test_bench_ablation_selfinv(benchmark, figure_reporter):
+    results = benchmark.pedantic(
+        run_selfinv_ablation,
+        kwargs={"app": "water", "scale": 0.25},
+        rounds=1,
+        iterations=1,
+    )
+    for label, result in results.items():
+        figure_reporter(f"ablation_selfinv_{label.replace(' ', '_')}", result)
+    selective = results["selective regions"].rows[0]
+    flush = results["flush-all"].rows[0]
+    # Flushing everything must not be cheaper than selective invalidation.
+    assert flush.rel_time("DeNovoSync") >= selective.rel_time("DeNovoSync") * 0.95

@@ -1,0 +1,39 @@
+"""Extension: lock-design study across coherence protocols.
+
+Not a paper figure.  Compares the three lock families — TATAS (one hot
+word), Anderson array (one padded flag per slot) and MCS (list-based
+queue nodes) — on the counter kernel at both system sizes.  The paper's
+section 6 analysis predicts: TATAS separates the protocols the most
+(invalidation storms vs registration transfers on one word); the queuing
+locks converge them (single spinner per word), with MESI paying an extra
+ownership request on the array lock's flag reset.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_scale
+
+from repro.harness.experiments import run_kernel_figure
+from repro.harness.report import figure_summary
+
+
+def _run_all():
+    return {
+        lock_type: run_kernel_figure(
+            lock_type,
+            core_counts=(16, 64),
+            scale=bench_scale(),
+            names=["counter", "stack"],
+        )
+        for lock_type in ("tatas", "array", "mcs")
+    }
+
+
+def test_bench_ext_lock_design(benchmark, figure_reporter):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    for lock_type, result in results.items():
+        figure_reporter(f"ext_lock_design_{lock_type}", result)
+    # The queuing locks should separate the protocols less than TATAS.
+    tatas = figure_summary(results["tatas"])["DeNovoSync"]["avg_rel_time"]
+    mcs = figure_summary(results["mcs"])["DeNovoSync"]["avg_rel_time"]
+    assert tatas <= mcs + 0.15

@@ -1,0 +1,53 @@
+"""Extension: coherence microbenchmarks across all protocols.
+
+Single-pattern workloads whose counters read like protocol documentation:
+false sharing hurts only line-granularity MESI; read-only sharing is free
+everywhere; ping-pong isolates ownership-transfer latency; the
+producer/consumer chain and all-to-all transpose bound the data-handoff
+costs that the application models aggregate.
+"""
+
+from __future__ import annotations
+
+from repro.config import config_for_cores
+from repro.harness.runner import run_workload
+from repro.workloads.micro import MICROBENCHES
+
+PROTOCOLS = ("MESI", "DeNovoSync", "DeNovoSyncSig")
+CORES = 16
+
+
+def _run():
+    results = {}
+    for name, cls in MICROBENCHES.items():
+        results[name] = {
+            protocol: run_workload(
+                cls(rounds=10), protocol, config_for_cores(CORES), seed=1
+            )
+            for protocol in PROTOCOLS
+        }
+    return results
+
+
+def test_bench_ext_micro(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(f"== Microbenchmarks ({CORES} cores, normalized to MESI) ==")
+    print(f"{'bench':22s} " + " ".join(f"{p:>16s}" for p in PROTOCOLS))
+    for name, by_protocol in results.items():
+        base = by_protocol["MESI"]
+        cells = " ".join(
+            f"T={r.cycles / base.cycles:4.2f} N={r.total_traffic / base.total_traffic:4.2f}"
+            for r in by_protocol.values()
+        )
+        print(f"{name:22s} {cells}")
+    # False sharing is MESI's pathology alone.
+    fs = results["micro.falsesharing"]
+    assert fs["DeNovoSync"].cycles < fs["MESI"].cycles
+    assert fs["MESI"].counters.get("invalidations_sent") > 0
+    # Read-only sharing costs nobody anything after warm-up.
+    ro = results["micro.readonly"]
+    for result in ro.values():
+        hits = result.counters.get("l1_hits")
+        misses = result.counters.get("l1_misses")
+        assert hits / (hits + misses) > 0.9

@@ -1,0 +1,49 @@
+"""Extension: is DeNovoSync "just" read-for-ownership?  (section 8)
+
+QOLB-era work dismissed RFO synchronization reads on invalidation
+protocols; the paper argues its read registration is a judicious RFO.
+This bench runs plain MESI, MESI-RFO, and DeNovoSync side by side on the
+kernels that separate the three designs:
+
+* array-lock kernels — RFO should recover MESI's extra flag-reset write
+  miss (the single-waiter case where RFO shines);
+* TATAS and non-blocking kernels — RFO inherits MESI's invalidation
+  storms *plus* R-R ping-pong, while DeNovoSync's registry (no blocking
+  directory, no sharer lists, word-granularity transfers, hardware
+  backoff) keeps the RFO idea cheap.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_scale
+
+from repro.harness.experiments import run_kernel_figure
+
+PROTOCOLS = ("MESI", "MESI-RFO", "DeNovoSync")
+
+
+def _run():
+    results = {}
+    for family, names in (
+        ("array", ["counter", "stack"]),
+        ("tatas", ["counter"]),
+        ("nonblocking", ["M-S queue", "Treiber stack"]),
+    ):
+        results[family] = run_kernel_figure(
+            family,
+            core_counts=(16, 64),
+            scale=bench_scale(),
+            names=names,
+            protocols=PROTOCOLS,
+        )
+    return results
+
+
+def test_bench_ext_rfo(benchmark, figure_reporter):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    for family, result in results.items():
+        figure_reporter(f"ext_rfo_{family}", result)
+    # RFO must not lose to plain MESI on the array locks (single waiter,
+    # the write miss it exists to save)...
+    for row in results["array"].rows:
+        assert row.rel_time("MESI-RFO") <= 1.10

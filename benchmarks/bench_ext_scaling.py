@@ -1,0 +1,57 @@
+"""Extension: scaling curves from 4 to 64 cores.
+
+The paper reports 16- and 64-core points; this bench fills in the curve
+for the two synchronization patterns with opposite scaling stories: the
+TATAS counter (one hot word — MESI's invalidation cost grows with every
+added spinner) and the binary tree barrier (single-producer/single-
+consumer flags — all protocols stay parallel).
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_scale
+
+from repro.config import config_for_cores
+from repro.harness.runner import run_workload
+from repro.workloads.base import KernelSpec
+from repro.workloads.registry import make_kernel
+
+CORE_COUNTS = (4, 16, 64)
+PROTOCOLS = ("MESI", "DeNovoSync0", "DeNovoSync")
+
+
+def _sweep():
+    rows = []
+    for kernel_family, name in (("tatas", "counter"), ("barrier", "tree")):
+        for cores in CORE_COUNTS:
+            config = config_for_cores(cores)
+            entry = {"kernel": name, "cores": cores}
+            for protocol in PROTOCOLS:
+                workload = make_kernel(
+                    kernel_family, name, spec=KernelSpec(scale=bench_scale())
+                )
+                result = run_workload(workload, protocol, config, seed=1)
+                entry[protocol] = result.cycles
+            rows.append(entry)
+    return rows
+
+
+def test_bench_ext_scaling(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    print("== Scaling: cycles (and DeNovoSync/MESI ratio) vs core count ==")
+    for row in rows:
+        ratio = row["DeNovoSync"] / row["MESI"]
+        print(
+            f"  {row['kernel']:8s} {row['cores']:3d} cores  "
+            f"M={row['MESI']:9d}  DS0={row['DeNovoSync0']:9d}  "
+            f"DS={row['DeNovoSync']:9d}  DS/M={ratio:.2f}"
+        )
+    # The TATAS advantage must widen with core count...
+    tatas = [r for r in rows if r["kernel"] == "counter"]
+    ratios = [r["DeNovoSync"] / r["MESI"] for r in tatas]
+    assert ratios[-1] < ratios[0]
+    # ... while tree barriers stay comparable at every size.
+    for row in rows:
+        if row["kernel"] == "tree":
+            assert 0.8 < row["DeNovoSync"] / row["MESI"] < 1.25

@@ -1,0 +1,96 @@
+"""Extension: sensitivity of the headline results to calibration constants.
+
+The simulator's micro-architectural calibration constants (directory
+occupancy, DeNovo registration-chain link cost, backoff parameters) are
+not published numbers; this bench sweeps them and checks that the
+*orderings* the reproduction reports — who wins on a TATAS lock, the
+direction of the M-S queue penalty — are robust across the swept range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from _bench_utils import bench_scale
+
+from repro.config import BackoffConfig, ProtocolTuning, config_16, config_64
+from repro.harness.runner import run_workload
+from repro.workloads.base import KernelSpec
+from repro.workloads.registry import make_kernel
+
+
+def _ratio(kernel_family, name, config, protocol, scale):
+    workload = make_kernel(kernel_family, name, spec=KernelSpec(scale=scale))
+    mesi = run_workload(workload, "MESI", config, seed=1)
+    workload = make_kernel(kernel_family, name, spec=KernelSpec(scale=scale))
+    other = run_workload(workload, protocol, config, seed=1)
+    return other.cycles / mesi.cycles
+
+
+def _sweep():
+    scale = bench_scale()
+    rows = []
+    for occupancy in (8, 16, 32):
+        for link in (2, 4, 8):
+            tuning = ProtocolTuning(ownership_occupancy=occupancy, chain_link_cost=link)
+            config = config_16(tuning=tuning)
+            rows.append(
+                {
+                    "ownership_occupancy": occupancy,
+                    "chain_link_cost": link,
+                    "tatas counter DS/M": _ratio(
+                        "tatas", "counter", config, "DeNovoSync", scale
+                    ),
+                    "M-S queue DS0/M": _ratio(
+                        "nonblocking", "M-S queue", config, "DeNovoSync0", scale
+                    ),
+                }
+            )
+    return rows
+
+
+def _backoff_sweep():
+    scale = bench_scale()
+    rows = []
+    for bits, increment in ((9, 1), (12, 64), (12, 16), (9, 8)):
+        backoff = BackoffConfig(bits, increment, update_period=64)
+        config = config_64(backoff=backoff)
+        rows.append(
+            {
+                "bits": bits,
+                "increment": increment,
+                "tatas counter DS/M": _ratio(
+                    "tatas", "counter", config, "DeNovoSync", scale
+                ),
+            }
+        )
+    return rows
+
+
+def test_bench_sensitivity_tuning(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    print("== Sensitivity: directory occupancy x chain link cost (16 cores) ==")
+    for row in rows:
+        print(
+            f"  occupancy={row['ownership_occupancy']:2d} link={row['chain_link_cost']} "
+            f"TATAS DS/M={row['tatas counter DS/M']:.2f} "
+            f"MSQ DS0/M={row['M-S queue DS0/M']:.2f}"
+        )
+    # Orderings must hold across the whole swept range.
+    for row in rows:
+        assert row["tatas counter DS/M"] < 1.0  # DeNovo wins TATAS
+        assert row["M-S queue DS0/M"] > 0.9  # queue penalty direction
+
+
+def test_bench_sensitivity_backoff(benchmark):
+    rows = benchmark.pedantic(_backoff_sweep, rounds=1, iterations=1)
+    print()
+    print("== Sensitivity: backoff parameters (64 cores, TATAS counter) ==")
+    for row in rows:
+        print(
+            f"  bits={row['bits']:2d} inc={row['increment']:2d} "
+            f"DS/M={row['tatas counter DS/M']:.2f}"
+        )
+    for row in rows:
+        assert row["tatas counter DS/M"] < 1.0

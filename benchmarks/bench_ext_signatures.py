@@ -1,0 +1,57 @@
+"""Extension: signature-based data consistency (the paper's future work).
+
+Compares DeNovoSync's static region self-invalidation against the
+DeNovoND-style write-signature variant (``DeNovoSyncSig``) on the two
+workloads the paper names as victims of conservative static regions:
+the array-lock heap kernel and fluidanimate.  Signatures deliver
+per-acquire *deltas* (exactly what was written since this core's last
+acquire), so they can only help where the static region over-invalidates
+reusable data.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_scale
+
+from repro.config import config_64
+from repro.harness.experiments import run_kernel_figure
+from repro.harness.runner import run_workload
+from repro.workloads.apps import make_app
+
+
+def _run():
+    heap = run_kernel_figure(
+        "array",
+        core_counts=(64,),
+        scale=bench_scale(),
+        names=["heap", "counter"],
+        protocols=("MESI", "DeNovoSync", "DeNovoSyncSig"),
+    )
+    fluid = {}
+    for protocol in ("MESI", "DeNovoSync", "DeNovoSyncSig"):
+        fluid[protocol] = run_workload(
+            make_app("fluidanimate", scale=0.35), protocol, config_64(), seed=2
+        )
+    return heap, fluid
+
+
+def test_bench_ext_signatures(benchmark, figure_reporter):
+    heap, fluid = benchmark.pedantic(_run, rounds=1, iterations=1)
+    figure_reporter("ext_signatures_kernels", heap)
+    mesi = fluid["MESI"]
+    print()
+    print("== fluidanimate: static regions vs write signatures ==")
+    for protocol, result in fluid.items():
+        print(
+            f"  {protocol:14s} time={result.cycles / mesi.cycles:.2f} "
+            f"traffic={result.total_traffic / mesi.total_traffic:.2f} "
+            f"invalidated={result.counters.get('self_invalidated_words')}"
+        )
+    static = fluid["DeNovoSync"]
+    sig = fluid["DeNovoSyncSig"]
+    # Signatures must not invalidate more than the conservative regions.
+    assert sig.counters.get("self_invalidated_words") <= static.counters.get(
+        "self_invalidated_words"
+    )
+    # ... and must stay correct/competitive on time.
+    assert sig.cycles <= static.cycles * 1.1

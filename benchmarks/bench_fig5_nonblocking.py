@@ -1,0 +1,35 @@
+"""Figure 5: non-blocking algorithms at 16 and 64 cores.
+
+Paper result: mixed — the read-heavy multi-variable CAS loops (M-S queue,
+PLJ queue) are where DeNovo's pre-linearization cost bites (DeNovoSync0
+up to 60% worse than MESI at 64 cores), while Treiber/Herlihy/FAI are
+comparable or better; DeNovo traffic is far lower throughout.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_scale
+
+from repro.harness.experiments import run_kernel_figure
+
+
+def test_bench_fig5_16_cores(benchmark, figure_reporter):
+    result = benchmark.pedantic(
+        run_kernel_figure,
+        args=("nonblocking",),
+        kwargs={"core_counts": (16,), "scale": bench_scale()},
+        rounds=1,
+        iterations=1,
+    )
+    figure_reporter("fig5_nonblocking", result)
+
+
+def test_bench_fig5_64_cores(benchmark, figure_reporter):
+    result = benchmark.pedantic(
+        run_kernel_figure,
+        args=("nonblocking",),
+        kwargs={"core_counts": (64,), "scale": bench_scale()},
+        rounds=1,
+        iterations=1,
+    )
+    figure_reporter("fig5_nonblocking", result)

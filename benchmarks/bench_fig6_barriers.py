@@ -1,0 +1,36 @@
+"""Figure 6: barrier kernels (tree / n-ary / central, balanced and
+unbalanced) at 16 and 64 cores.
+
+Paper result: tree barriers are single-producer/single-consumer per flag,
+so all protocols match on time while DeNovo saves most of the traffic;
+the centralized barrier's many-readers-one-word departure is DeNovo's bad
+case (higher traffic; worse time when unbalanced at 64 cores).
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_scale
+
+from repro.harness.experiments import run_kernel_figure
+
+
+def test_bench_fig6_16_cores(benchmark, figure_reporter):
+    result = benchmark.pedantic(
+        run_kernel_figure,
+        args=("barrier",),
+        kwargs={"core_counts": (16,), "scale": bench_scale()},
+        rounds=1,
+        iterations=1,
+    )
+    figure_reporter("fig6_barriers", result)
+
+
+def test_bench_fig6_64_cores(benchmark, figure_reporter):
+    result = benchmark.pedantic(
+        run_kernel_figure,
+        args=("barrier",),
+        kwargs={"core_counts": (64,), "scale": bench_scale()},
+        rounds=1,
+        iterations=1,
+    )
+    figure_reporter("fig6_barriers", result)

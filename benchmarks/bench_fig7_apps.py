@@ -1,0 +1,23 @@
+"""Figure 7: the 13 SPLASH-2 / PARSEC application models.
+
+Paper result: DeNovoSync matches MESI on execution time overall (4%
+better on average; noticeably better for LU, water, ocean, ferret; 7%
+worse for fluidanimate due to conservative self-invalidation) and cuts
+network traffic by 24% on average.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import app_scale
+
+from repro.harness.experiments import run_apps_figure
+
+
+def test_bench_fig7_apps(benchmark, figure_reporter):
+    result = benchmark.pedantic(
+        run_apps_figure,
+        kwargs={"scale": app_scale()},
+        rounds=1,
+        iterations=1,
+    )
+    figure_reporter("fig7_apps", result)

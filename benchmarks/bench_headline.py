@@ -1,0 +1,60 @@
+"""The abstract's headline numbers, recomputed over all 48 kernel cases.
+
+Paper abstract: "For a wide variety of synchronization constructs and
+applications, compared to MESI, DeNovoSync shows comparable or up to 22%
+lower execution time and up to 58% lower network traffic."  (The 22%/58%
+are the kernel averages from section 1: 22% lower time and 58% lower
+traffic on average over the 24 kernels at 16 and 64 cores, all but four
+cases comparable or better.)
+
+This bench runs all four kernel families at both core counts and prints
+the same aggregate: average/best/worst relative time and traffic for
+DeNovoSync0 and DeNovoSync over the 48 cases.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_scale
+
+from repro.harness.experiments import headline_summary, run_kernel_figure
+
+FAMILIES = ("tatas", "array", "nonblocking", "barrier")
+
+
+def _run_all():
+    return [
+        run_kernel_figure(family, core_counts=(16, 64), scale=bench_scale())
+        for family in FAMILIES
+    ]
+
+
+def test_bench_headline(benchmark):
+    figures = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    summary = headline_summary(figures)
+    print()
+    print("== Headline aggregate over the 48 kernel cases ==")
+    print("paper (DeNovoSync vs MESI): avg time -22%, avg traffic -58%,")
+    print("all but four cases comparable or better")
+    for protocol, stats in summary.items():
+        print(
+            f"  {protocol:12s} ({stats['cases']} cases): "
+            f"time avg {1 - stats['avg_rel_time']:+.0%} "
+            f"(best {1 - stats['best_rel_time']:+.0%}, "
+            f"worst {1 - stats['worst_rel_time']:+.0%}); "
+            f"traffic avg {1 - stats['avg_rel_traffic']:+.0%} "
+            f"(best {1 - stats['best_rel_traffic']:+.0%}, "
+            f"worst {1 - stats['worst_rel_traffic']:+.0%})"
+        )
+    ds = summary["DeNovoSync"]
+    assert ds["cases"] == 48
+    # The headline shape: clearly lower average time and traffic.
+    assert ds["avg_rel_time"] < 0.95
+    assert ds["avg_rel_traffic"] < 0.70
+    # "All but four cases comparable or better": allow the same slack.
+    worse = sum(
+        1
+        for figure in figures
+        for row in figure.rows
+        if row.rel_time("DeNovoSync") > 1.10
+    )
+    assert worse <= 6

@@ -1,0 +1,57 @@
+"""Table 1: simulated system parameters.
+
+Verifies and reports that the latency model reproduces the paper's
+latency ranges exactly at both system sizes.
+"""
+
+from __future__ import annotations
+
+from repro.config import config_16, config_64
+from repro.noc.mesh import Mesh
+
+
+def _ranges(config):
+    mesh = Mesh(config)
+    l2 = [
+        mesh.l2_access_latency(core, bank)
+        for core in range(config.num_cores)
+        for bank in range(config.l2_banks)
+    ]
+    remote = [
+        mesh.remote_l1_latency(0, bank, owner)
+        for bank in range(config.l2_banks)
+        for owner in range(config.num_cores)
+    ]
+    memory = [
+        mesh.memory_latency(core, bank)
+        for core in range(config.num_cores)
+        for bank in range(config.l2_banks)
+    ]
+    return l2, remote, memory
+
+
+def _all_ranges():
+    return {
+        label: _ranges(config)
+        for config, label in ((config_16(), "16 cores"), (config_64(), "64 cores"))
+    }
+
+
+def test_bench_table1(benchmark):
+    results = benchmark.pedantic(_all_ranges, rounds=1, iterations=1)
+    print()
+    print("== Table 1: simulated system parameters ==")
+    for config, label in ((config_16(), "16 cores"), (config_64(), "64 cores")):
+        l2, remote, memory = results[label]
+        print(
+            f"{label}: L2 hit {min(l2)}..{max(l2)} "
+            f"(paper {config.l2_hit_latency.min}..{config.l2_hit_latency.max}), "
+            f"remote L1 {min(remote)}..{max(remote)} "
+            f"(paper {config.remote_l1_latency.min}..{config.remote_l1_latency.max}), "
+            f"memory {min(memory)}..{max(memory)} "
+            f"(paper {config.memory_latency.min}..{config.memory_latency.max})"
+        )
+        assert min(l2) == config.l2_hit_latency.min
+        assert max(l2) == config.l2_hit_latency.max
+        assert max(remote) == config.remote_l1_latency.max
+        assert max(memory) == config.memory_latency.max

@@ -1,0 +1,37 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Every bench regenerates one of the paper's tables/figures, printing the
+rows and writing them under ``results/``.  ``REPRO_BENCH_SCALE`` (default
+0.05) sets the fraction of the paper's kernel iteration counts; the
+figure *shapes* are stable across scales, and scale 1.0 reproduces the
+paper's full methodology (slow in pure Python).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+@pytest.fixture
+def figure_reporter():
+    """Returns a function that prints a FigureResult and saves it."""
+    from repro.harness.report import print_figure
+
+    def report(name: str, result) -> None:
+        buffer = io.StringIO()
+        print_figure(result, buffer)
+        text = buffer.getvalue()
+        print()
+        print(text)
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        mode = "a" if os.path.exists(path) else "w"
+        with open(path, mode) as fh:
+            fh.write(text)
+
+    return report

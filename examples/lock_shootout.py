@@ -1,0 +1,49 @@
+"""Lock shootout: how lock algorithms interact with coherence protocols.
+
+The paper's section 6 analysis in one script: TATAS locks hand off through
+a single hot word (writer-initiated invalidations put MESI's invalidation
+storm on the critical path; DeNovo's read registrations ping-pong), while
+Anderson array locks give every waiter its own word (all protocols look
+alike, but MESI pays an extra ownership request to reset the flag).
+
+Sweeps both lock types over 4/16/64 cores and prints the handoff costs.
+
+    python examples/lock_shootout.py
+"""
+
+from repro.config import config_for_cores
+from repro.harness.runner import run_workload
+from repro.workloads.base import KernelSpec
+from repro.workloads.registry import make_kernel
+
+
+def main() -> None:
+    spec_scale = 0.1
+    print(f"{'lock':>8s} {'cores':>5s} "
+          f"{'MESI':>10s} {'DS0':>14s} {'DS':>14s}   (cycles, normalized)")
+    for lock_type in ("tatas", "array"):
+        for cores in (4, 16, 64):
+            config = config_for_cores(cores)
+            row = {}
+            for protocol in ("MESI", "DeNovoSync0", "DeNovoSync"):
+                workload = make_kernel(
+                    lock_type, "counter", spec=KernelSpec(scale=spec_scale)
+                )
+                row[protocol] = run_workload(workload, protocol, config, seed=1)
+            base = row["MESI"].cycles
+            print(
+                f"{lock_type:>8s} {cores:5d} {base:10d} "
+                f"{row['DeNovoSync0'].cycles:8d} ({row['DeNovoSync0'].cycles / base:4.2f}) "
+                f"{row['DeNovoSync'].cycles:8d} ({row['DeNovoSync'].cycles / base:4.2f})"
+            )
+
+    print(
+        "\nTATAS: DeNovo's advantage grows with core count — MESI must"
+        "\ninvalidate every spinner on each release, and that round trip is"
+        "\non the lock-handoff critical path.  Array locks: single waiter"
+        "\nper word, so the protocols converge (the paper's section 6.1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Non-blocking data structures under contention: where DeNovoSync0 hurts
+and hardware backoff helps.
+
+The Michael-Scott queue does several synchronization reads (equality
+checks) per CAS.  Under DeNovoSync0 each of those reads must *register*,
+stealing the word from whoever read it last — the pre-linearization cost
+of section 6.2.  DeNovoSync's per-core hardware backoff delays reads to
+recently-stolen (Valid-state) words, trading memory stall for shorter
+backoff stalls.
+
+This example contrasts the M-S queue (read-heavy) with the Treiber stack
+(one hot word, CAS-dominated) at rising core counts and prints the
+counters that explain the difference: sync read misses, registration
+steals, and hardware backoff events.
+
+    python examples/nonblocking_contention.py
+"""
+
+from repro.config import config_for_cores
+from repro.harness.runner import run_workload
+from repro.workloads.base import KernelSpec
+from repro.workloads.registry import make_kernel
+
+
+def main() -> None:
+    for kernel in ("M-S queue", "Treiber stack"):
+        print(f"== {kernel} ==")
+        print(
+            f"{'cores':>5s} {'proto':>5s} {'rel time':>8s} {'rel traffic':>11s} "
+            f"{'sync misses':>11s} {'steals':>8s} {'hw backoffs':>11s}"
+        )
+        for cores in (16, 64):
+            config = config_for_cores(cores)
+            base = None
+            for protocol in ("MESI", "DeNovoSync0", "DeNovoSync"):
+                workload = make_kernel(
+                    "nonblocking", kernel, spec=KernelSpec(scale=0.1)
+                )
+                result = run_workload(workload, protocol, config, seed=1)
+                if base is None:
+                    base = result
+                label = {"MESI": "M", "DeNovoSync0": "DS0", "DeNovoSync": "DS"}[protocol]
+                print(
+                    f"{cores:5d} {label:>5s} "
+                    f"{result.cycles / base.cycles:8.2f} "
+                    f"{result.total_traffic / base.total_traffic:11.2f} "
+                    f"{result.counters.get('sync_read_misses'):11d} "
+                    f"{result.counters.get('read_registration_steals'):8d} "
+                    f"{result.counters.get('hw_backoff_events'):11d}"
+                )
+        print()
+    print(
+        "Read-heavy CAS loops (M-S queue) are DeNovo's worst case: every\n"
+        "equality check is a registering miss.  Single-hot-word structures\n"
+        "(Treiber) favour DeNovo: the linearizing CAS is a point-to-point\n"
+        "registration transfer instead of an invalidation storm."
+    )
+
+
+if __name__ == "__main__":
+    main()

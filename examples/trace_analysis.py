@@ -1,0 +1,54 @@
+"""Trace a workload, analyze its sharing pattern, replay it elsewhere.
+
+Demonstrates the trace subsystem end to end:
+
+1. run the Michael-Scott queue kernel under MESI with tracing on;
+2. analyze the trace — hit rates, the hottest words, sharing degrees
+   (the queue's head/tail/next words should dominate);
+3. replay the recorded reference stream under DeNovoSync and compare the
+   protocols on *identical* access sequences (classic trace-driven
+   methodology).
+
+    python examples/trace_analysis.py
+"""
+
+from repro.config import config_16
+from repro.harness.runner import run_workload
+from repro.trace.analysis import interleaving_histogram, summarize
+from repro.trace.replay import TraceReplayWorkload
+from repro.workloads.base import KernelSpec
+from repro.workloads.registry import make_kernel
+
+
+def main() -> None:
+    workload = make_kernel("nonblocking", "M-S queue", spec=KernelSpec(scale=0.1))
+    traced = run_workload(workload, "MESI", config_16(), seed=1, trace=True)
+    trace = traced.meta["trace"]
+
+    summary = summarize(trace)
+    print(f"Recorded {summary.accesses} accesses "
+          f"({summary.sync_accesses} synchronization)")
+    print(f"  hit rate {summary.hit_rate:.1%}, "
+          f"avg latency {summary.avg_latency:.1f} cycles "
+          f"(misses {summary.avg_miss_latency:.1f})")
+    print(f"  {summary.read_shared_words} read-shared words, "
+          f"max sharing degree {summary.max_sharing_degree}")
+    print("  hottest words:")
+    for addr, count in summary.hot_words[:5]:
+        sharers = len(interleaving_histogram(trace, addr))
+        print(f"    word {addr:6d}: {count:5d} accesses from {sharers} cores")
+
+    print("\nReplaying the same reference stream:")
+    for protocol in ("MESI", "DeNovoSync"):
+        replay = TraceReplayWorkload(trace)
+        result = run_workload(replay, protocol, config_16(), seed=0)
+        print(f"  {protocol:>12s}: {result.cycles:8d} cycles, "
+              f"traffic {result.total_traffic:8d}")
+    print(
+        "\nThe replayed DeNovoSync run shows what the identical access"
+        "\nsequence costs without writer-initiated invalidations."
+    )
+
+
+if __name__ == "__main__":
+    main()

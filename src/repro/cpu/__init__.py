@@ -1,0 +1,31 @@
+"""Simulated cores and their operation ISA."""
+
+from repro.cpu.isa import (
+    Cas,
+    Compute,
+    Fai,
+    Load,
+    PopBucket,
+    PushBucket,
+    SelfInvalidate,
+    Store,
+    Swap,
+    WaitLoad,
+)
+from repro.cpu.core import Core
+from repro.cpu.thread import ThreadCtx
+
+__all__ = [
+    "Cas",
+    "Compute",
+    "Core",
+    "Fai",
+    "Load",
+    "PopBucket",
+    "PushBucket",
+    "SelfInvalidate",
+    "Store",
+    "Swap",
+    "ThreadCtx",
+    "WaitLoad",
+]

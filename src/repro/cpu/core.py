@@ -1,0 +1,253 @@
+"""The simulated core: a simple in-order, 1-CPI engine with blocking loads.
+
+A core drives one thread program (a generator yielding ISA operations).
+Every operation is applied to the coherence protocol atomically at issue
+time; the core then sleeps on the event queue for the returned latency and
+resumes the generator with the result value.
+
+Cycle accounting follows the paper's figure components: each instruction
+costs one compute cycle (spinning read *hits* therefore show up as compute
+time); miss latency beyond the first cycle is memory stall; hardware
+backoff stalls are tracked separately; and a bucket-override stack lets
+the workload driver route whole stretches (the end-of-kernel barrier, the
+non-synchronization dummy work) to their own components.
+
+Spin-wait execution (:class:`~repro.cpu.isa.WaitLoad`):
+
+* under MESI the core probes once, then *subscribes* to the invalidation
+  of its cached copy and sleeps — modelling the zero-traffic local spin —
+  waking to re-probe when the writer's invalidation arrives;
+* under DeNovo the core re-probes in a loop; every probe is a registering
+  sync-read miss, preceded by whatever hardware backoff the protocol asks
+  for.  This is where DeNovoSync0's ping-ponging and DeNovoSync's adaptive
+  delays emerge.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.cpu import isa
+from repro.protocols.base import Access, CoherenceProtocol
+from repro.sim.engine import Simulator
+from repro.stats.timeparts import TimeBreakdown, TimeComponent
+
+#: Cycles of loop overhead between consecutive spin probes (branch + test).
+SPIN_LOOP_OVERHEAD = 1
+
+
+class Core:
+    """One in-order core executing one thread program."""
+
+    def __init__(self, core_id: int, sim: Simulator, protocol: CoherenceProtocol):
+        self.core_id = core_id
+        self.sim = sim
+        self.protocol = protocol
+        self.time = TimeBreakdown()
+        self.finish_time: Optional[int] = None
+        self._gen: Optional[Generator] = None
+        self._bucket_stack: list[TimeComponent] = []
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self, program: Generator) -> None:
+        """Begin executing ``program`` at cycle 0."""
+        self._gen = program
+        self.sim.schedule_at(0, lambda: self._step(None))
+
+    @property
+    def done(self) -> bool:
+        return self.finish_time is not None
+
+    # -- accounting -----------------------------------------------------------
+
+    def _bucket(self) -> Optional[TimeComponent]:
+        return self._bucket_stack[-1] if self._bucket_stack else None
+
+    def _account(self, component: TimeComponent, cycles: int) -> None:
+        if cycles <= 0:
+            return
+        override = self._bucket()
+        self.time.add(override if override is not None else component, cycles)
+
+    def _account_access(self, access: Access) -> None:
+        """One compute cycle to issue, the rest of the latency as stall."""
+        if access.retry:
+            # Waiting out a busy directory is pure memory stall.
+            self._account(TimeComponent.MEMORY_STALL, access.latency)
+            return
+        self._account(TimeComponent.COMPUTE, min(access.latency, 1))
+        if access.latency > 1:
+            self._account(TimeComponent.MEMORY_STALL, access.latency - 1)
+
+    # -- the dispatch loop --------------------------------------------------------
+
+    def _step(self, send_value) -> None:
+        """Resume the program with ``send_value`` and run its next operation."""
+        assert self._gen is not None
+        try:
+            op = self._gen.send(send_value)
+        except StopIteration:
+            self.finish_time = self.sim.now
+            return
+        self._dispatch(op)
+
+    def _resume_after(self, delay: int, value=None) -> None:
+        self.sim.schedule_after(delay, lambda: self._step(value))
+
+    def _dispatch(self, op) -> None:
+        self.protocol.set_time(self.sim.now)
+        if isinstance(op, isa.Compute):
+            self._account(op.component, op.cycles)
+            self._resume_after(op.cycles)
+        elif isinstance(op, isa.Load):
+            self._issue_load(op)
+        elif isinstance(op, isa.Store):
+            self._issue_store(op)
+        elif isinstance(op, isa.Cas):
+            self._issue_rmw(
+                op.addr,
+                lambda old: op.new if old == op.expected else None,
+                op.release,
+                acquire=op.acquire,
+            )
+        elif isinstance(op, isa.Fai):
+            self._issue_rmw(
+                op.addr, lambda old: old + op.delta, op.release, acquire=op.acquire
+            )
+        elif isinstance(op, isa.Swap):
+            self._issue_rmw(
+                op.addr, lambda old: op.value, op.release, acquire=op.acquire
+            )
+        elif isinstance(op, isa.WaitLoad):
+            self._spin_probe(op)
+        elif isinstance(op, isa.SelfInvalidate):
+            latency = self.protocol.self_invalidate(
+                self.core_id, list(op.regions), flush_all=op.flush_all
+            )
+            self._account(TimeComponent.COMPUTE, latency)
+            self._resume_after(latency)
+        elif isinstance(op, isa.PushBucket):
+            self._bucket_stack.append(op.component)
+            self._step(None)
+        elif isinstance(op, isa.PopBucket):
+            if not self._bucket_stack:
+                raise RuntimeError(f"core {self.core_id}: PopBucket with empty stack")
+            self._bucket_stack.pop()
+            self._step(None)
+        else:
+            raise TypeError(f"core {self.core_id}: unknown operation {op!r}")
+
+    # -- loads (with hardware backoff) ------------------------------------------
+
+    def _issue_load(self, op: isa.Load) -> None:
+        if op.sync:
+            backoff = self.protocol.sync_read_backoff(self.core_id, op.addr)
+            if backoff > 0:
+                self._account(TimeComponent.HW_BACKOFF, backoff)
+                self.sim.schedule_after(backoff, lambda: self._finish_load(op))
+                return
+        self._finish_load(op)
+
+    def _finish_load(self, op: isa.Load, ticketed: bool = False) -> None:
+        self.protocol.set_time(self.sim.now)
+        access = self.protocol.load(
+            self.core_id, op.addr, sync=op.sync, ticketed=ticketed,
+            acquire=op.acquire,
+        )
+        self._account_access(access)
+        if access.retry:
+            self.sim.schedule_after(
+                access.latency, lambda: self._finish_load(op, ticketed=True)
+            )
+            return
+        self._resume_after(access.latency, access.value)
+
+    def _issue_store(self, op: isa.Store, ticketed: bool = False) -> None:
+        self.protocol.set_time(self.sim.now)
+        access = self.protocol.store(
+            self.core_id,
+            op.addr,
+            op.value,
+            sync=op.sync,
+            release=op.release,
+            ticketed=ticketed,
+        )
+        self._account_access(access)
+        if access.retry:
+            self.sim.schedule_after(
+                access.latency, lambda: self._issue_store(op, ticketed=True)
+            )
+            return
+        self._resume_after(access.latency, access.value)
+
+    def _issue_rmw(
+        self, addr: int, fn, release: bool, ticketed: bool = False,
+        acquire: bool = False,
+    ) -> None:
+        self.protocol.set_time(self.sim.now)
+        access = self.protocol.rmw(
+            self.core_id, addr, fn, release=release, ticketed=ticketed,
+            acquire=acquire,
+        )
+        self._account_access(access)
+        if access.retry:
+            self.sim.schedule_after(
+                access.latency,
+                lambda: self._issue_rmw(
+                    addr, fn, release, ticketed=True, acquire=acquire
+                ),
+            )
+            return
+        self._resume_after(access.latency, access.value)
+
+    # -- spin-wait ------------------------------------------------------------------
+
+    def _spin_probe(self, op: isa.WaitLoad) -> None:
+        """One probe of a spin-wait; reschedules itself until ``pred`` holds."""
+        self.protocol.set_time(self.sim.now)
+        if op.sync:
+            backoff = self.protocol.sync_read_backoff(
+                self.core_id, op.addr, spinning=True
+            )
+            if backoff > 0:
+                self._account(TimeComponent.HW_BACKOFF, backoff)
+                self.sim.schedule_after(backoff, lambda: self._spin_probe_issue(op))
+                return
+        self._spin_probe_issue(op)
+
+    def _spin_probe_issue(self, op: isa.WaitLoad, ticketed: bool = False) -> None:
+        self.protocol.set_time(self.sim.now)
+        access = self.protocol.load(
+            self.core_id, op.addr, sync=op.sync, ticketed=ticketed
+        )
+        self._account_access(access)
+        if access.retry:
+            self.sim.schedule_after(
+                access.latency, lambda: self._spin_probe_issue(op, ticketed=True)
+            )
+            return
+        if op.pred(access.value):
+            if op.acquire:
+                # The successful probe is the acquire point.
+                self.protocol.on_acquire(self.core_id, op.addr)
+            self._resume_after(access.latency, access.value)
+            return
+        # Failed probe: wait for our copy to change if the protocol can tell
+        # us (MESI), otherwise poll again after the probe completes.
+        retry_at = self.sim.now + access.latency
+
+        def on_invalidated(wake_time: int) -> None:
+            wake = max(wake_time, retry_at)
+            # The wait itself is local spinning on a cached copy: compute.
+            self._account(TimeComponent.COMPUTE, max(0, wake - retry_at))
+            self.sim.schedule_at(wake, lambda: self._spin_probe(op))
+
+        subscribed = self.protocol.subscribe_line_change(
+            self.core_id, op.addr, on_invalidated
+        )
+        if not subscribed:
+            self._account(TimeComponent.COMPUTE, SPIN_LOOP_OVERHEAD)
+            self.sim.schedule_at(
+                retry_at + SPIN_LOOP_OVERHEAD, lambda: self._spin_probe(op)
+            )

@@ -1,0 +1,125 @@
+"""Operations a simulated thread can yield to its core.
+
+Thread programs are Python generators.  Each ``yield op`` hands the core
+one operation; the core applies it to the coherence protocol, stalls for
+the computed latency, and resumes the generator with the operation's
+result (the loaded value, or the old value for read-modify-writes).
+
+The RMW flavours (:class:`Cas`, :class:`Fai`, :class:`Swap`) are always
+synchronization accesses.  :class:`WaitLoad` is the spin-wait primitive:
+semantically a loop of (sync) loads until a predicate holds, which the
+core executes protocol-appropriately — sleeping on the cached copy until
+invalidated under MESI, re-registering (with hardware backoff) under the
+DeNovo protocols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.mem.regions import Region
+from repro.stats.timeparts import TimeComponent
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Spend ``cycles`` cycles of local work, charged to ``component``."""
+
+    cycles: int
+    component: TimeComponent = TimeComponent.COMPUTE
+
+
+@dataclass(frozen=True)
+class Load:
+    """Read a word; returns its value.
+
+    ``acquire`` marks acquire semantics: under signature-based data
+    consistency (see :mod:`repro.protocols.signatures`) the acquiring
+    core receives the write signature attached to this synchronization
+    variable and self-invalidates exactly those words."""
+
+    addr: int
+    sync: bool = False
+    acquire: bool = False
+
+
+@dataclass(frozen=True)
+class Store:
+    """Write a word.  Data stores are non-blocking; sync stores block.
+
+    ``release`` marks release semantics (resets the DeNovoSync increment
+    counter)."""
+
+    addr: int
+    value: int
+    sync: bool = False
+    release: bool = False
+
+
+@dataclass(frozen=True)
+class Cas:
+    """Compare-and-swap; returns the old value (success iff old == expected)."""
+
+    addr: int
+    expected: int
+    new: int
+    release: bool = False
+    acquire: bool = False
+
+
+@dataclass(frozen=True)
+class Fai:
+    """Fetch-and-increment by ``delta``; returns the old value."""
+
+    addr: int
+    delta: int = 1
+    release: bool = False
+    acquire: bool = False
+
+
+@dataclass(frozen=True)
+class Swap:
+    """Atomic exchange (test-and-set is ``Swap(addr, 1)``); returns old."""
+
+    addr: int
+    value: int
+    release: bool = False
+    acquire: bool = False
+
+
+@dataclass(frozen=True)
+class WaitLoad:
+    """Spin on (sync) loads of ``addr`` until ``pred(value)``; returns it.
+
+    ``acquire`` applies to the successful (predicate-passing) probe."""
+
+    addr: int
+    pred: Callable[[int], bool]
+    sync: bool = True
+    acquire: bool = False
+
+
+@dataclass(frozen=True)
+class SelfInvalidate:
+    """Self-invalidate the Valid words of ``regions`` (DeNovo acquires).
+
+    ``flush_all`` selects the paper's no-information fallback (section 3):
+    invalidate *every* non-registered word in the cache, which is always
+    correct but costs all cached reuse.
+    """
+
+    regions: Sequence[Region] = field(default_factory=tuple)
+    flush_all: bool = False
+
+
+@dataclass(frozen=True)
+class PushBucket:
+    """Route all subsequent cycle accounting to ``component`` (stacked)."""
+
+    component: TimeComponent
+
+
+@dataclass(frozen=True)
+class PopBucket:
+    """Undo the innermost :class:`PushBucket`."""

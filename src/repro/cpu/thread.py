@@ -1,0 +1,31 @@
+"""Per-thread execution context handed to workload program factories."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.config import SystemConfig
+from repro.mem.regions import RegionAllocator
+
+
+@dataclass
+class ThreadCtx:
+    """Everything a thread program needs to know about its environment.
+
+    ``rng`` is seeded per (run seed, core id) so whole runs are
+    deterministic and cores are mutually decorrelated.
+    """
+
+    core_id: int
+    num_cores: int
+    config: SystemConfig
+    allocator: RegionAllocator
+    rng: random.Random
+
+    def uniform_cycles(self, lo: int, hi: int) -> int:
+        """A uniformly random cycle count in [lo, hi), as the paper's
+        dummy-computation windows are specified."""
+        if hi <= lo:
+            return lo
+        return self.rng.randrange(lo, hi)

@@ -1,0 +1,5 @@
+"""Experiment harness: runners, figure definitions, reporting."""
+
+from repro.harness.runner import run_workload
+
+__all__ = ["run_workload"]

@@ -1,0 +1,233 @@
+"""Command-line entry point: regenerate any of the paper's figures.
+
+Usage (installed as ``denovosync-bench``)::
+
+    denovosync-bench fig3 --cores 16 64 --scale 0.1
+    denovosync-bench fig7 --scale 0.5
+    denovosync-bench ablation-padding
+    denovosync-bench all --scale 0.05 --out results/
+
+``--scale 1.0`` runs the paper's full iteration counts (slow in pure
+Python); the default keeps a laptop run in minutes while preserving the
+figure shapes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.harness.experiments import (
+    run_apps_figure,
+    run_eqcheck_ablation,
+    run_kernel_figure,
+    run_padding_ablation,
+    run_selfinv_ablation,
+    run_sw_backoff_ablation,
+)
+from repro.harness.export import write_figure_csv, write_figure_json
+from repro.harness.plots import render_figure
+from repro.harness.report import print_figure
+
+FIGURE_FAMILIES = {
+    "fig3": "tatas",
+    "fig4": "array",
+    "fig5": "nonblocking",
+    "fig6": "barrier",
+}
+
+
+def _open_out(out_dir: str | None, name: str):
+    if out_dir is None:
+        return sys.stdout
+    os.makedirs(out_dir, exist_ok=True)
+    return open(os.path.join(out_dir, f"{name}.txt"), "w")
+
+
+def _emit(result, out, args) -> None:
+    if args.format == "csv":
+        write_figure_csv(result, out)
+    elif args.format == "json":
+        write_figure_json(result, out)
+    elif args.format == "plot":
+        render_figure(result, out)
+        print(file=out)
+    else:
+        print_figure(result, out)
+
+
+def _run_one(target: str, args) -> None:
+    out = _open_out(args.out, target)
+    try:
+        if target in FIGURE_FAMILIES:
+            result = run_kernel_figure(
+                FIGURE_FAMILIES[target],
+                core_counts=tuple(args.cores),
+                scale=args.scale,
+                seed=args.seed,
+            )
+            _emit(result, out, args)
+        elif target == "fig7":
+            result = run_apps_figure(scale=args.app_scale, seed=args.seed)
+            _emit(result, out, args)
+        elif target == "ablation-padding":
+            for label, result in run_padding_ablation(scale=args.scale).items():
+                print(f"-- {label} --", file=out)
+                _emit(result, out, args)
+        elif target == "ablation-swbackoff":
+            for label, result in run_sw_backoff_ablation(scale=args.scale).items():
+                print(f"-- {label} --", file=out)
+                _emit(result, out, args)
+        elif target == "ablation-eqchecks":
+            for label, result in run_eqcheck_ablation(scale=args.scale).items():
+                print(f"-- {label} --", file=out)
+                _emit(result, out, args)
+        elif target == "ablation-selfinv":
+            for label, result in run_selfinv_ablation(scale=args.app_scale).items():
+                print(f"-- {label} --", file=out)
+                _emit(result, out, args)
+        else:
+            raise SystemExit(f"unknown target {target!r}")
+    finally:
+        if out is not sys.stdout:
+            out.close()
+
+
+ALL_TARGETS = [
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "ablation-padding",
+    "ablation-swbackoff",
+    "ablation-eqchecks",
+    "ablation-selfinv",
+]
+
+
+def _run_single(args) -> int:
+    """The ``run`` target: one workload, one protocol, full detail."""
+    from repro.config import config_for_cores
+    from repro.harness.runner import run_workload
+    from repro.stats.energy import EnergyModel
+    from repro.workloads.base import KernelSpec
+
+    spec = args.workload
+    if "/" in spec:
+        family, name = spec.split("/", 1)
+        if family == "app":
+            from repro.workloads.apps import app_core_count, make_app
+
+            workload = make_app(name, scale=args.app_scale)
+            cores = args.cores[0] if args.cores_given else app_core_count(name)
+        elif family == "micro":
+            from repro.workloads.micro import MICROBENCHES
+
+            workload = MICROBENCHES[f"micro.{name}"]()
+            cores = args.cores[0]
+        else:
+            from repro.workloads.registry import make_kernel
+
+            workload = make_kernel(family, name, spec=KernelSpec(scale=args.scale))
+            cores = args.cores[0]
+    else:
+        raise SystemExit(
+            f"--workload must be family/name (e.g. tatas/counter, app/LU, "
+            f"micro/pingpong), got {spec!r}"
+        )
+
+    config = config_for_cores(cores)
+    result = run_workload(
+        workload, args.protocol, config, seed=args.seed, trace=args.trace is not None
+    )
+    print(f"{result.workload} under {result.protocol} on {cores} cores:")
+    print(f"  cycles        {result.cycles}")
+    print(f"  total traffic {result.total_traffic} flit-crossings")
+    print("  time breakdown:")
+    for component, cycles in result.avg_time_breakdown.items():
+        if cycles:
+            print(f"    {component:14s} {cycles:12.1f}")
+    print("  traffic breakdown:")
+    for klass, flits in result.traffic_breakdown().items():
+        if flits:
+            print(f"    {klass:14s} {flits:12d}")
+    model = EnergyModel()
+    print("  dynamic energy (pJ):")
+    for part, pj in model.breakdown(result).items():
+        print(f"    {part:14s} {pj:12.0f}")
+    notable = {
+        k: v
+        for k, v in sorted(result.counters.as_dict().items())
+        if v and not k.startswith("l1_")
+    }
+    print("  counters:")
+    for key, value in notable.items():
+        print(f"    {key:32s} {value:10d}")
+    if args.trace is not None:
+        from repro.trace.events import write_trace
+
+        count = write_trace(result.meta["trace"], args.trace)
+        print(f"  trace: {count} records -> {args.trace}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="denovosync-bench",
+        description="Regenerate the DeNovoSync (ASPLOS'15) evaluation figures.",
+    )
+    parser.add_argument("target", choices=ALL_TARGETS + ["all", "run"])
+    parser.add_argument(
+        "--workload", default=None,
+        help="for 'run': family/name, e.g. tatas/counter, nonblocking/"
+        "'M-S queue', app/LU, micro/pingpong",
+    )
+    parser.add_argument(
+        "--protocol", default="DeNovoSync",
+        help="for 'run': MESI, MESI-RFO, DeNovoSync0, DeNovoSync, "
+        "DeNovoSyncSig",
+    )
+    parser.add_argument(
+        "--trace", default=None,
+        help="for 'run': write a JSONL access trace to this path",
+    )
+    parser.add_argument(
+        "--cores", type=int, nargs="+", default=[16, 64],
+        help="core counts for the kernel figures (default: 16 64)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.1,
+        help="fraction of the paper's kernel iteration counts (default 0.1)",
+    )
+    parser.add_argument(
+        "--app-scale", type=float, default=0.5,
+        help="input scale for the Figure 7 application models (default 0.5)",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--out", default=None,
+        help="directory for per-figure .txt reports (default: stdout)",
+    )
+    parser.add_argument(
+        "--format", choices=["table", "csv", "json", "plot"], default="table",
+        help="output format: aligned tables (default), CSV, JSON, or "
+        "ASCII stacked bars",
+    )
+    args = parser.parse_args(argv)
+    args.cores_given = "--cores" in (argv or [])
+
+    if args.target == "run":
+        if args.workload is None:
+            parser.error("'run' requires --workload family/name")
+        return _run_single(args)
+
+    targets = ALL_TARGETS if args.target == "all" else [args.target]
+    for target in targets:
+        _run_one(target, args)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

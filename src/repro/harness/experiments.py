@@ -1,0 +1,277 @@
+"""Experiment definitions: one entry per table/figure in the paper.
+
+Each experiment regenerates the rows/series of one figure:
+
+* Figures 3-6: the four kernel families, each at 16 and 64 cores, under
+  MESI / DeNovoSync0 / DeNovoSync, reporting execution time and network
+  traffic normalized to MESI with the same component decomposition as the
+  paper's stacked bars.
+* Figure 7: the 13 applications under MESI / DeNovoSync (ferret and x264
+  at 16 cores, the rest at 64).
+* The section 7.1 ablations: lock padding, software backoff on TATAS
+  kernels, and the Herlihy equality-check modification.
+
+``scale`` shrinks the paper's iteration counts/inputs so a full figure
+sweep stays tractable in pure Python; the shapes are stable across scales
+(see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.config import SystemConfig, config_for_cores
+from repro.harness.runner import run_workload
+from repro.stats.collector import RunResult
+from repro.workloads.apps import APP_NAMES, app_core_count, make_app
+from repro.workloads.base import KernelSpec
+from repro.workloads.registry import kernel_names, make_kernel
+
+KERNEL_PROTOCOLS = ("MESI", "DeNovoSync0", "DeNovoSync")
+APP_PROTOCOLS = ("MESI", "DeNovoSync")
+
+FIGURE_FOR_FAMILY = {
+    "tatas": "Figure 3 (TATAS locks)",
+    "array": "Figure 4 (array locks)",
+    "nonblocking": "Figure 5 (non-blocking algorithms)",
+    "barrier": "Figure 6 (barriers)",
+    "mcs": "Extension (MCS queue locks)",
+}
+
+
+@dataclass
+class FigureRow:
+    """One (workload, cores) row of a figure: results per protocol."""
+
+    workload: str
+    num_cores: int
+    results: dict[str, RunResult] = field(default_factory=dict)
+
+    def rel_time(self, protocol: str, baseline: str = "MESI") -> float:
+        return self.results[protocol].cycles / max(1, self.results[baseline].cycles)
+
+    def rel_traffic(self, protocol: str, baseline: str = "MESI") -> float:
+        return self.results[protocol].total_traffic / max(
+            1, self.results[baseline].total_traffic
+        )
+
+
+@dataclass
+class FigureResult:
+    """All rows of one figure reproduction."""
+
+    figure: str
+    rows: list[FigureRow]
+    scale: float
+
+
+def run_kernel_figure(
+    family: str,
+    core_counts: tuple[int, ...] = (16, 64),
+    scale: float = 0.1,
+    seed: int = 1,
+    protocols: tuple[str, ...] = KERNEL_PROTOCOLS,
+    names: Optional[list[str]] = None,
+    **kernel_kwargs,
+) -> FigureResult:
+    """Reproduce one kernel figure (3, 4, 5 or 6)."""
+    rows = []
+    for cores in core_counts:
+        config = config_for_cores(cores)
+        for name in names or kernel_names(family):
+            row = FigureRow(workload=name, num_cores=cores)
+            for protocol in protocols:
+                workload = make_kernel(
+                    family, name, spec=KernelSpec(scale=scale), **kernel_kwargs
+                )
+                row.results[protocol] = run_workload(
+                    workload, protocol, config, seed=seed
+                )
+            rows.append(row)
+    return FigureResult(FIGURE_FOR_FAMILY[family], rows, scale)
+
+
+def run_apps_figure(
+    scale: float = 0.5,
+    seed: int = 2,
+    protocols: tuple[str, ...] = APP_PROTOCOLS,
+    names: Optional[list[str]] = None,
+) -> FigureResult:
+    """Reproduce Figure 7 (applications)."""
+    rows = []
+    for name in names or APP_NAMES:
+        cores = app_core_count(name)
+        config = config_for_cores(cores)
+        row = FigureRow(workload=name, num_cores=cores)
+        for protocol in protocols:
+            row.results[protocol] = run_workload(
+                make_app(name, scale=scale), protocol, config, seed=seed
+            )
+        rows.append(row)
+    return FigureResult("Figure 7 (applications)", rows, scale)
+
+
+# -- section 7.1 ablations ----------------------------------------------------
+
+
+def headline_summary(figures: list[FigureResult]) -> dict[str, dict[str, float]]:
+    """Aggregate the abstract's headline numbers over kernel figures.
+
+    The paper's abstract: "compared to MESI, DeNovoSync shows comparable
+    or up to 22% lower execution time and up to 58% lower network
+    traffic" over the 48 kernel cases (24 kernels x 2 core counts), and
+    22%/58% are the kernel-average improvements.  Returns, per non-MESI
+    protocol: mean/best/worst relative time and traffic across all rows.
+    """
+    stats: dict[str, dict[str, list[float]]] = {}
+    for figure in figures:
+        for row in figure.rows:
+            if "MESI" not in row.results:
+                continue
+            for protocol in row.results:
+                if protocol == "MESI":
+                    continue
+                bucket = stats.setdefault(protocol, {"time": [], "traffic": []})
+                bucket["time"].append(row.rel_time(protocol))
+                bucket["traffic"].append(row.rel_traffic(protocol))
+    summary = {}
+    for protocol, bucket in stats.items():
+        times, traffics = bucket["time"], bucket["traffic"]
+        summary[protocol] = {
+            "cases": len(times),
+            "avg_rel_time": sum(times) / len(times),
+            "best_rel_time": min(times),
+            "worst_rel_time": max(times),
+            "avg_rel_traffic": sum(traffics) / len(traffics),
+            "best_rel_traffic": min(traffics),
+            "worst_rel_traffic": max(traffics),
+        }
+    return summary
+
+
+def run_padding_ablation(
+    cores: int = 16, scale: float = 0.1, seed: int = 1
+) -> dict[str, FigureResult]:
+    """Section 7.1.1: TATAS kernels with and without lock padding.
+
+    Without padding, lock words share cache lines with each other, so
+    MESI suffers false sharing; DeNovo's word-granularity state is immune
+    but loses the one-transfer-per-line benefit.
+    """
+    results = {}
+    for padded in (True, False):
+        rows = []
+        config = config_for_cores(cores)
+        for name in kernel_names("tatas"):
+            row = FigureRow(workload=name, num_cores=cores)
+            for protocol in KERNEL_PROTOCOLS:
+                workload = make_kernel("tatas", name, spec=KernelSpec(scale=scale))
+                if not padded:
+                    workload = _unpadded(workload)
+                row.results[protocol] = run_workload(
+                    workload, protocol, config, seed=seed
+                )
+            rows.append(row)
+        label = "padded" if padded else "unpadded"
+        results[label] = FigureResult(f"TATAS locks ({label})", rows, scale)
+    return results
+
+
+def _unpadded(workload):
+    """Wrap a kernel workload so its allocator does not pad sync variables."""
+    original_build = workload.build
+
+    def build(config, *, seed=0):
+        from repro.mem import regions as regions_mod
+
+        original_init = regions_mod.RegionAllocator.__init__
+
+        def patched_init(self, amap, pad_sync_vars=True):
+            original_init(self, amap, pad_sync_vars=False)
+
+        regions_mod.RegionAllocator.__init__ = patched_init
+        try:
+            return original_build(config, seed=seed)
+        finally:
+            regions_mod.RegionAllocator.__init__ = original_init
+
+    workload.build = build
+    return workload
+
+
+def run_sw_backoff_ablation(
+    cores: int = 64, scale: float = 0.1, seed: int = 1
+) -> dict[str, FigureResult]:
+    """Section 7.1.1: TATAS kernels with software exponential backoff.
+
+    The paper found software backoff widens DeNovo's gap over MESI: it
+    spaces failed synchronization reads (reducing DeNovo's false-race
+    misses) but does nothing about MESI's invalidation latency.
+    """
+    results = {}
+    for backoff in (False, True):
+        fig = run_kernel_figure(
+            "tatas",
+            core_counts=(cores,),
+            scale=scale,
+            seed=seed,
+            software_backoff=backoff,
+        )
+        label = "sw backoff" if backoff else "no backoff"
+        results[label] = FigureResult(f"TATAS locks ({label})", fig.rows, scale)
+    return results
+
+
+def run_selfinv_ablation(
+    app: str = "water", scale: float = 0.3, seed: int = 2
+) -> dict[str, FigureResult]:
+    """Section 3's data-consistency spectrum on one application.
+
+    Compares DeNovoSync with compiler-provided selective region
+    self-invalidation (the paper's assumption) against the always-correct
+    no-information fallback that flushes every Valid word at each acquire
+    and phase boundary.  MESI is the common baseline.
+    """
+    from dataclasses import replace
+
+    from repro.workloads.apps import APP_PROFILES, AppWorkload, app_core_count
+
+    results = {}
+    cores = app_core_count(app)
+    config = config_for_cores(cores)
+    for flush_all in (False, True):
+        profile = replace(APP_PROFILES[app], flush_all_selfinv=flush_all)
+        row = FigureRow(workload=app, num_cores=cores)
+        for protocol in APP_PROTOCOLS:
+            row.results[protocol] = run_workload(
+                AppWorkload(profile, scale=scale), protocol, config, seed=seed
+            )
+        label = "flush-all" if flush_all else "selective regions"
+        results[label] = FigureResult(f"{app} ({label} self-invalidation)", [row], scale)
+    return results
+
+
+def run_eqcheck_ablation(
+    cores: int = 64, scale: float = 0.1, seed: int = 1
+) -> dict[str, FigureResult]:
+    """Section 7.1.3: Herlihy kernels, original vs reduced equality checks.
+
+    The original versions re-read the shared pointer to filter doomed
+    attempts early — free under MESI's cached spinning, a registration
+    miss under DeNovo.  The paper's modified (reduced-check) versions help
+    DeNovo far more than MESI.
+    """
+    results = {}
+    for reduced in (False, True):
+        fig = run_kernel_figure(
+            "nonblocking",
+            core_counts=(cores,),
+            scale=scale,
+            seed=seed,
+            names=["Herlihy stack", "Herlihy heap"],
+            reduced_checks=reduced,
+        )
+        label = "reduced checks" if reduced else "original checks"
+        results[label] = FigureResult(f"Herlihy kernels ({label})", fig.rows, scale)
+    return results

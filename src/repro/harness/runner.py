@@ -1,0 +1,81 @@
+"""Run one (workload, protocol, system) configuration to completion."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import SystemConfig
+from repro.cpu.core import Core
+from repro.protocols import make_protocol
+from repro.sim.engine import Simulator
+from repro.stats.collector import RunResult
+from repro.workloads.base import Workload
+
+#: Safety net against livelocked kernels; generous for paper-scale runs.
+DEFAULT_MAX_EVENTS = 50_000_000
+
+
+class SimulationStuck(RuntimeError):
+    """The event queue drained with unfinished cores (a deadlocked workload)."""
+
+
+def run_workload(
+    workload: Workload,
+    protocol_name: str,
+    config: SystemConfig,
+    *,
+    seed: int = 0,
+    max_events: Optional[int] = DEFAULT_MAX_EVENTS,
+    keep_protocol: bool = False,
+    trace: bool = False,
+) -> RunResult:
+    """Build ``workload`` for ``config``, run it under ``protocol_name``.
+
+    Returns the :class:`RunResult` with execution-time decomposition,
+    traffic by message class, and protocol event counters.  With
+    ``keep_protocol`` the protocol object is attached under
+    ``result.meta["protocol"]`` so callers can inspect final memory and
+    cache state (used by tests and examples).  With ``trace`` every
+    access is recorded and attached under ``result.meta["trace"]`` (a
+    list of :class:`~repro.trace.events.AccessRecord`).
+    """
+    instance = workload.build(config, seed=seed)
+    protocol = make_protocol(protocol_name, config, instance.allocator)
+    if trace:
+        from repro.trace.recorder import TracingProtocol
+
+        protocol = TracingProtocol(protocol)
+    for addr, value in instance.initial_values.items():
+        protocol.memory.write(addr, value)
+
+    sim = Simulator()
+    cores = [Core(core_id, sim, protocol) for core_id in range(config.num_cores)]
+    for core, program in zip(cores, instance.programs):
+        core.start(program)
+
+    sim.run(max_events=max_events)
+
+    unfinished = [core.core_id for core in cores if not core.done]
+    if unfinished:
+        raise SimulationStuck(
+            f"workload {instance.name!r} under {protocol_name}: cores "
+            f"{unfinished} never finished (deadlock or missing wake-up) "
+            f"at cycle {sim.now}"
+        )
+
+    cycles = max(core.finish_time for core in cores)
+    meta = dict(instance.meta)
+    if keep_protocol:
+        meta["protocol"] = protocol
+    if trace:
+        meta["trace"] = protocol.records
+    return RunResult(
+        workload=instance.name,
+        protocol=protocol_name,
+        num_cores=config.num_cores,
+        cycles=cycles,
+        per_core_time=[core.time for core in cores],
+        traffic=protocol.traffic,
+        counters=protocol.counters,
+        meta=meta,
+    )

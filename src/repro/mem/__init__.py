@@ -1,0 +1,7 @@
+"""Memory substrate: addresses, regions, backing store, cache structures."""
+
+from repro.mem.address import AddressMap
+from repro.mem.memory import BackingStore
+from repro.mem.regions import Region, RegionAllocator
+
+__all__ = ["AddressMap", "BackingStore", "Region", "RegionAllocator"]

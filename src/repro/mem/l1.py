@@ -1,0 +1,279 @@
+"""Private L1 cache structures.
+
+Two flavours, matching the two protocol families:
+
+* :class:`MesiL1` keeps coherence state per cache line (M/E/S; absence
+  means Invalid).  MESI hits are never stale (writers invalidate sharers
+  before committing), so values are always served from the backing store
+  and the L1 only tracks state and LRU order.
+* :class:`DeNovoL1` keeps per-word state (Invalid/Valid/Registered) and
+  per-word *values*, because DeNovo Valid copies may legitimately be stale
+  until a self-invalidation.  Frames are still allocated per line and LRU
+  is maintained at line granularity, as in the paper's hardware.
+
+Both caches are set-associative with LRU replacement within each set.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Optional
+
+from repro.config import SystemConfig
+from repro.mem.address import AddressMap
+
+
+class MesiState(Enum):
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+
+
+class DeNovoState(Enum):
+    INVALID = "I"
+    VALID = "V"
+    REGISTERED = "R"
+
+
+class _SetAssocDirectory:
+    """Shared LRU machinery: maps line -> entry within set-indexed ways."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.num_sets = max(1, config.l1_sets)
+        self.assoc = config.l1_assoc
+        self._sets: list[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+
+    def _set_of(self, line: int) -> OrderedDict:
+        return self._sets[line % self.num_sets]
+
+    def get(self, line: int, touch: bool = True):
+        group = self._set_of(line)
+        entry = group.get(line)
+        if entry is not None and touch:
+            group.move_to_end(line)
+        return entry
+
+    def put(self, line: int, entry) -> Optional[tuple[int, object]]:
+        """Insert/replace ``line``; return an evicted (line, entry) or None."""
+        group = self._set_of(line)
+        victim = None
+        if line not in group and len(group) >= self.assoc:
+            victim = group.popitem(last=False)
+        group[line] = entry
+        group.move_to_end(line)
+        return victim
+
+    def pop(self, line: int):
+        return self._set_of(line).pop(line, None)
+
+    def __iter__(self):
+        for group in self._sets:
+            yield from group.items()
+
+    def __len__(self) -> int:
+        return sum(len(group) for group in self._sets)
+
+
+class MesiL1:
+    """Line-granularity MESI L1 for one core."""
+
+    def __init__(self, core_id: int, config: SystemConfig) -> None:
+        self.core_id = core_id
+        self._dir = _SetAssocDirectory(config)
+
+    def state_of(self, line: int, touch: bool = True) -> Optional[MesiState]:
+        return self._dir.get(line, touch=touch)
+
+    def insert(self, line: int, state: MesiState) -> Optional[tuple[int, MesiState]]:
+        """Fill ``line`` in ``state``; return the evicted (line, state) if any."""
+        return self._dir.put(line, state)
+
+    def set_state(self, line: int, state: MesiState) -> None:
+        if self._dir.get(line, touch=False) is None:
+            raise KeyError(f"line {line} not present in L1 {self.core_id}")
+        self._dir.put(line, state)
+
+    def invalidate(self, line: int) -> Optional[MesiState]:
+        """Drop ``line`` (writer-initiated invalidation); return old state."""
+        return self._dir.pop(line)
+
+    def resident_lines(self) -> list[int]:
+        return [line for line, _ in self._dir]
+
+    def __len__(self) -> int:
+        return len(self._dir)
+
+
+@dataclass
+class DeNovoFrame:
+    """One line frame: per-word state and value (keyed by word-in-line)."""
+
+    states: dict[int, DeNovoState] = field(default_factory=dict)
+    values: dict[int, int] = field(default_factory=dict)
+
+    def registered_offsets(self) -> list[int]:
+        return [
+            off for off, st in self.states.items() if st is DeNovoState.REGISTERED
+        ]
+
+
+class DeNovoL1:
+    """Word-granularity DeNovo L1 for one core.
+
+    ``on_evict_registered(addr, value)`` is called for every Registered word
+    lost to replacement so the protocol can write the value back to the
+    registry (a DeNovo writeback is a word-granularity registration return).
+    """
+
+    def __init__(
+        self,
+        core_id: int,
+        config: SystemConfig,
+        amap: AddressMap,
+        on_evict_registered: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
+        self.core_id = core_id
+        self.amap = amap
+        self._dir = _SetAssocDirectory(config)
+        self._on_evict_registered = on_evict_registered
+        # region_id -> set of word addresses currently Valid, for O(1)
+        # selective self-invalidation.
+        self._valid_by_region: dict[int, set[int]] = {}
+        self._region_of_addr: Callable[[int], Optional[int]] = lambda addr: None
+
+    def set_region_lookup(self, lookup: Callable[[int], Optional[int]]) -> None:
+        """Install the allocator's address -> region-id mapping."""
+        self._region_of_addr = lookup
+
+    # -- state queries ----------------------------------------------------
+
+    def state_of(self, addr: int, touch: bool = True) -> DeNovoState:
+        frame = self._dir.get(self.amap.line_of(addr), touch=touch)
+        if frame is None:
+            return DeNovoState.INVALID
+        return frame.states.get(self.amap.word_in_line(addr), DeNovoState.INVALID)
+
+    def value_of(self, addr: int) -> Optional[int]:
+        frame = self._dir.get(self.amap.line_of(addr), touch=False)
+        if frame is None:
+            return None
+        return frame.values.get(self.amap.word_in_line(addr))
+
+    # -- fills and upgrades -----------------------------------------------
+
+    def _frame_for(self, line: int) -> DeNovoFrame:
+        frame = self._dir.get(line)
+        if frame is None:
+            frame = DeNovoFrame()
+            victim = self._dir.put(line, frame)
+            if victim is not None:
+                self._evict_frame(*victim)
+        return frame
+
+    def fill_word(self, addr: int, value: int, state: DeNovoState) -> None:
+        """Install ``addr`` with ``value`` in ``state`` (Valid or Registered)."""
+        if state is DeNovoState.INVALID:
+            raise ValueError("cannot fill a word in Invalid state")
+        line = self.amap.line_of(addr)
+        frame = self._frame_for(line)
+        off = self.amap.word_in_line(addr)
+        old = frame.states.get(off)
+        frame.states[off] = state
+        frame.values[off] = value
+        self._untrack_valid(addr, old)
+        if state is DeNovoState.VALID:
+            self._track_valid(addr)
+
+    def write_word(self, addr: int, value: int) -> None:
+        """Update the value of a word already Registered here."""
+        frame = self._dir.get(self.amap.line_of(addr))
+        off = self.amap.word_in_line(addr)
+        if frame is None or frame.states.get(off) is not DeNovoState.REGISTERED:
+            raise KeyError(f"word {addr} not Registered in L1 {self.core_id}")
+        frame.values[off] = value
+
+    def downgrade(self, addr: int, to: DeNovoState) -> None:
+        """Registered -> Valid/Invalid (remote registration took ownership)."""
+        line = self.amap.line_of(addr)
+        frame = self._dir.get(line, touch=False)
+        if frame is None:
+            return
+        off = self.amap.word_in_line(addr)
+        old = frame.states.get(off)
+        if old is not DeNovoState.REGISTERED:
+            return
+        if to is DeNovoState.INVALID:
+            frame.states.pop(off, None)
+            frame.values.pop(off, None)
+        else:
+            frame.states[off] = to
+            self._track_valid(addr)
+
+    def invalidate_word(self, addr: int) -> None:
+        """Drop one word regardless of state (no writeback)."""
+        line = self.amap.line_of(addr)
+        frame = self._dir.get(line, touch=False)
+        if frame is None:
+            return
+        off = self.amap.word_in_line(addr)
+        old = frame.states.pop(off, None)
+        frame.values.pop(off, None)
+        self._untrack_valid(addr, old)
+
+    # -- self-invalidation --------------------------------------------------
+
+    def self_invalidate_region(self, region_id: int) -> int:
+        """Invalidate all Valid words of ``region_id``; return count dropped.
+
+        Registered words are untouched: registered data stays in the cache
+        across synchronization boundaries (paper section 3, footnote 1).
+        """
+        addrs = self._valid_by_region.pop(region_id, None)
+        if not addrs:
+            return 0
+        dropped = 0
+        for addr in addrs:
+            line = self.amap.line_of(addr)
+            frame = self._dir.get(line, touch=False)
+            if frame is None:
+                continue
+            off = self.amap.word_in_line(addr)
+            if frame.states.get(off) is DeNovoState.VALID:
+                frame.states.pop(off, None)
+                frame.values.pop(off, None)
+                dropped += 1
+        return dropped
+
+    def self_invalidate_all(self) -> int:
+        """Invalidate every Valid word (the no-region-information fallback)."""
+        dropped = 0
+        for region_id in list(self._valid_by_region):
+            dropped += self.self_invalidate_region(region_id)
+        # Valid words with no known region live under key None.
+        return dropped
+
+    # -- internals ----------------------------------------------------------
+
+    def _track_valid(self, addr: int) -> None:
+        region_id = self._region_of_addr(addr)
+        self._valid_by_region.setdefault(region_id, set()).add(addr)
+
+    def _untrack_valid(self, addr: int, old_state: Optional[DeNovoState]) -> None:
+        if old_state is not DeNovoState.VALID:
+            return
+        region_id = self._region_of_addr(addr)
+        bucket = self._valid_by_region.get(region_id)
+        if bucket is not None:
+            bucket.discard(addr)
+
+    def _evict_frame(self, line: int, frame: DeNovoFrame) -> None:
+        for off, st in list(frame.states.items()):
+            addr = self.amap.line_base(line) + off
+            if st is DeNovoState.REGISTERED and self._on_evict_registered:
+                self._on_evict_registered(addr, frame.values[off])
+            self._untrack_valid(addr, st)
+
+    def __len__(self) -> int:
+        return len(self._dir)

@@ -1,0 +1,52 @@
+"""The global backing store and LLC residency tracking.
+
+The backing store holds the architecturally-latest value of every word.
+Protocol invariants keep it coherent with the caches:
+
+* MESI: a write invalidates all sharers at its commit point, so any cached
+  copy a core can still hit on equals the backing-store value.
+* DeNovo: a Registered word's cached copy is written through to the store
+  at the owner's write commit, so registration transfers can always fill
+  from the store; Valid copies may be stale, which is exactly the DeNovo
+  semantics for data-race-free data.
+
+The store also tracks which lines are LLC-resident so the first touch of a
+line pays the memory (DRAM) latency.
+"""
+
+from __future__ import annotations
+
+
+class BackingStore:
+    """Word-addressed value store + LLC residency set."""
+
+    def __init__(self) -> None:
+        self._values: dict[int, int] = {}
+        self._resident_lines: set[int] = set()
+
+    def read(self, addr: int) -> int:
+        """Architecturally-latest value of ``addr`` (0 if never written)."""
+        return self._values.get(addr, 0)
+
+    def write(self, addr: int, value: int) -> None:
+        self._values[addr] = value
+
+    def is_resident(self, line: int) -> bool:
+        """True if ``line`` has been brought on-chip already."""
+        return line in self._resident_lines
+
+    def touch_line(self, line: int) -> bool:
+        """Mark ``line`` LLC-resident; return True if this was a cold miss."""
+        if line in self._resident_lines:
+            return False
+        self._resident_lines.add(line)
+        return True
+
+    def evict_line(self, line: int) -> None:
+        """Drop ``line`` from the LLC (used by the app models to emulate
+        footprints larger than the LLC)."""
+        self._resident_lines.discard(line)
+
+    @property
+    def resident_line_count(self) -> int:
+        return len(self._resident_lines)

@@ -1,0 +1,7 @@
+"""2D-mesh interconnect model: topology, message sizing, traffic accounting."""
+
+from repro.noc.mesh import Mesh
+from repro.noc.messages import MessageClass, control_flits, data_flits
+from repro.noc.traffic import TrafficLedger
+
+__all__ = ["Mesh", "MessageClass", "TrafficLedger", "control_flits", "data_flits"]

@@ -1,0 +1,85 @@
+"""2D mesh topology and hop-based latency interpolation.
+
+Tiles are laid out row-major on a square mesh; each tile holds one core and
+one LLC bank (NUCA).  Memory controllers sit at the four mesh corners.
+Distances are Manhattan (dimension-ordered routing).  Latency for an access
+is interpolated between the Table 1 min (0 hops) and max (farthest tile)
+for the relevant access class, so the simulated system reproduces the
+paper's latency ranges exactly.
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+
+
+class Mesh:
+    """Topology and latency model for one simulated system."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.side = config.mesh_side
+        self._controller_tiles = self._corner_tiles()
+
+    def _corner_tiles(self) -> tuple[int, ...]:
+        """Tile ids of the four on-chip memory controllers (mesh corners)."""
+        side = self.side
+        if side == 1:
+            return (0,)
+        return (0, side - 1, side * (side - 1), side * side - 1)
+
+    def coords(self, tile: int) -> tuple[int, int]:
+        """(x, y) coordinates of a tile id."""
+        if not 0 <= tile < self.config.num_cores:
+            raise ValueError(f"tile {tile} out of range")
+        return tile % self.side, tile // self.side
+
+    def hops(self, src: int, dst: int) -> int:
+        """One-way Manhattan hop distance between two tiles."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def nearest_controller(self, tile: int) -> int:
+        """Tile id of the memory controller closest to ``tile``."""
+        return min(self._controller_tiles, key=lambda c: (self.hops(tile, c), c))
+
+    # -- latency interpolation over Table 1 ranges ------------------------
+
+    def l2_access_latency(self, core: int, bank: int) -> int:
+        """Latency of an L1 miss serviced at LLC bank ``bank`` (round trip)."""
+        return self.config.l2_hit_latency.interpolate(
+            self.hops(core, bank), self.config.max_hops
+        )
+
+    def remote_l1_latency(self, core: int, bank: int, owner: int) -> int:
+        """Latency of an L1 miss forwarded by the home bank to a remote L1.
+
+        Interpolated over the longer of the two legs (home, owner) so the
+        0-hop case costs the Table 1 minimum and the farthest case the max.
+        """
+        leg = max(self.hops(core, bank), self.hops(bank, owner))
+        return self.config.remote_l1_latency.interpolate(leg, self.config.max_hops)
+
+    def memory_latency(self, core: int, bank: int) -> int:
+        """Latency of an access that misses the LLC and goes to memory."""
+        controller = self.nearest_controller(bank)
+        leg = max(self.hops(core, bank), self.hops(bank, controller))
+        return self.config.memory_latency.interpolate(leg, self.config.max_hops)
+
+    def per_hop_cycles(self) -> float:
+        """One-way per-hop network cost implied by the Table 1 L2 range."""
+        if self.config.max_hops == 0:
+            return 0.0
+        span = self.config.l2_hit_latency.max - self.config.l2_hit_latency.min
+        return span / (2 * self.config.max_hops)
+
+    def invalidation_round_trip(self, bank: int, sharer: int) -> int:
+        """Invalidate-and-ack round trip between the home bank and a sharer.
+
+        Two control messages over the mesh plus a small processing cost at
+        the sharer.  Charged on the critical path of a MESI write/upgrade
+        (write atomicity: the write completes only after all acks).
+        """
+        processing = self.config.tuning.inv_processing
+        return round(2 * self.hops(bank, sharer) * self.per_hop_cycles()) + processing

@@ -1,0 +1,49 @@
+"""Traffic accounting: flit crossings per link, by message class.
+
+The paper's traffic metric is "flit crossings across all network links":
+a message of F flits traversing H links contributes F * H units.  Messages
+between co-located units (a core and its own LLC bank) cross zero links
+and contribute nothing.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.noc.messages import MessageClass
+
+
+class TrafficLedger:
+    """Accumulates flit-crossing counts, keyed by :class:`MessageClass`."""
+
+    def __init__(self) -> None:
+        self._flits: Counter[MessageClass] = Counter()
+        self._messages: Counter[MessageClass] = Counter()
+
+    def record(self, klass: MessageClass, flits: int, hops: int) -> None:
+        """Record one message of ``flits`` flits crossing ``hops`` links."""
+        if flits < 0 or hops < 0:
+            raise ValueError("flits and hops must be non-negative")
+        self._flits[klass] += flits * hops
+        self._messages[klass] += 1
+
+    def flit_crossings(self, klass: MessageClass | None = None) -> int:
+        """Total flit crossings, optionally restricted to one class."""
+        if klass is None:
+            return sum(self._flits.values())
+        return self._flits[klass]
+
+    def message_count(self, klass: MessageClass | None = None) -> int:
+        if klass is None:
+            return sum(self._messages.values())
+        return self._messages[klass]
+
+    def breakdown(self) -> dict[str, int]:
+        """Flit crossings by class label, as used in the figure legends."""
+        return {klass.value: self._flits[klass] for klass in MessageClass}
+
+    def merged_with(self, other: "TrafficLedger") -> "TrafficLedger":
+        merged = TrafficLedger()
+        merged._flits = self._flits + other._flits
+        merged._messages = self._messages + other._messages
+        return merged

@@ -1,0 +1,53 @@
+"""Coherence protocols: MESI, DeNovoSync0, DeNovoSync."""
+
+from repro.protocols.base import Access, CoherenceProtocol
+from repro.protocols.mesi import MesiProtocol
+from repro.protocols.denovosync0 import DeNovoSync0Protocol
+from repro.protocols.denovosync import DeNovoSyncProtocol
+from repro.protocols.signatures import DeNovoSyncSigProtocol
+from repro.protocols.mesi_rfo import MesiRfoProtocol
+
+PROTOCOLS = {
+    "MESI": MesiProtocol,
+    "DeNovoSync0": DeNovoSync0Protocol,
+    "DeNovoSync": DeNovoSyncProtocol,
+    # Extension: DeNovoND-style signature-based data consistency (the
+    # paper's future-work direction).  Requires acquire/release-annotated
+    # workloads (all lock kernels, barriers, and app models qualify).
+    "DeNovoSyncSig": DeNovoSyncSigProtocol,
+    # Extension: MESI issuing sync reads as read-for-ownership (the
+    # section 8 related-work counterpoint).
+    "MESI-RFO": MesiRfoProtocol,
+}
+
+#: Figure-label abbreviations used throughout the paper.
+PROTOCOL_LABELS = {
+    "MESI": "M",
+    "DeNovoSync0": "DS0",
+    "DeNovoSync": "DS",
+    "DeNovoSyncSig": "DSsig",
+    "MESI-RFO": "M-RFO",
+}
+
+
+def make_protocol(name: str, *args, **kwargs) -> CoherenceProtocol:
+    """Instantiate a protocol by its paper name (``MESI``/``DeNovoSync0``/...)."""
+    try:
+        cls = PROTOCOLS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown protocol {name!r}; expected one of {sorted(PROTOCOLS)}"
+        ) from None
+    return cls(*args, **kwargs)
+
+
+__all__ = [
+    "Access",
+    "CoherenceProtocol",
+    "MesiProtocol",
+    "DeNovoSync0Protocol",
+    "DeNovoSyncProtocol",
+    "PROTOCOLS",
+    "PROTOCOL_LABELS",
+    "make_protocol",
+]

@@ -1,0 +1,78 @@
+"""Per-core hardware backoff state for DeNovoSync (paper §4.2).
+
+Two coupled counters per core:
+
+* the **backoff counter** holds the number of cycles a synchronization
+  read to a word in Valid state must stall before issuing its miss.  It
+  is bumped whenever a remote sync read steals this core's registration
+  (incoming steals signal contention), wraps to zero on overflow of its
+  configured bit width, and resets on a sync read/RMW hit to Registered
+  state (a hit means nobody intervened — low contention).
+* the **increment counter** sets the bump size.  It grows by the default
+  increment on every Nth incoming steal (N = the configured update period,
+  which the paper ties to the core count) and resets to the default on a
+  release, preparing the core for the next synchronization episode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import BackoffConfig
+
+
+@dataclass
+class BackoffState:
+    """Hardware backoff registers of one core."""
+
+    config: BackoffConfig
+    backoff: int = 0
+    increment: int = field(init=False)
+    incoming_steals: int = 0
+    stalled_this_episode: bool = False
+
+    def __post_init__(self) -> None:
+        self.increment = self.config.default_increment
+
+    def on_incoming_sync_read_steal(self) -> None:
+        """A remote sync read just took this core's registration."""
+        self.incoming_steals += 1
+        if self.incoming_steals % self.config.update_period == 0:
+            self.increment += self.config.default_increment
+        # Wrap-on-overflow semantics of the fixed-width hardware counter.
+        self.backoff = (self.backoff + self.increment) & self.config.counter_max
+
+    def on_registered_hit(self) -> None:
+        """Sync read/RMW hit in Registered state: contention is low."""
+        self.backoff = 0
+
+    def on_release(self) -> None:
+        """A release completed; re-arm for the next synchronization episode."""
+        self.increment = self.config.default_increment
+        self.stalled_this_episode = False
+
+    def stall_cycles(self, spinning: bool = False) -> int:
+        """Backoff delay to apply to a sync read to Valid state.
+
+        Taking the delay consumes the counter: it re-arms from subsequent
+        incoming steals, so the next stall reflects contention observed
+        *since* this one.  Without consumption the counter only ever
+        shrinks on Registered-state hits — rare in contended CAS loops —
+        and grows monotonically to the hardware maximum.
+
+        For non-spinning reads (the equality checks inside a CAS-loop
+        attempt) at most one stall is taken per synchronization episode
+        (episodes end at a release, the same boundary the paper uses to
+        reset the increment counter): re-armed stalls firing mid-attempt
+        stretch the read-to-CAS window and *cause* the failures backoff is
+        meant to avoid.  Spin-wait re-probes are always eligible — delaying
+        them is exactly the Figure 2c scenario that thins the registration
+        ping-pong.
+        """
+        if not spinning and self.stalled_this_episode:
+            return 0
+        stall = self.backoff
+        self.backoff = 0
+        if stall > 0 and not spinning:
+            self.stalled_this_episode = True
+        return stall

@@ -1,0 +1,205 @@
+"""Protocol interface shared by MESI and the DeNovo family.
+
+A protocol is the single authority over caches, directory/registry state,
+the backing store, latency computation and traffic accounting.  Each memory
+operation is applied *atomically at issue time*: all state transitions and
+the value read/written commit at the current simulation cycle, and the
+returned latency tells the issuing core how long to stall.  Because every
+operation goes through the deterministic global event queue, simulated
+CAS/FAI operations are linearizable and the synchronization algorithms
+built on top behave exactly as they would on coherent hardware.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.config import SystemConfig
+from repro.mem.address import AddressMap
+from repro.mem.memory import BackingStore
+from repro.mem.regions import Region, RegionAllocator
+from repro.noc.mesh import Mesh
+from repro.noc.messages import MessageClass, control_flits, data_flits
+from repro.noc.traffic import TrafficLedger
+from repro.stats.collector import ProtocolCounters
+
+#: Backwards-compatible aliases for the default tuning constants; the
+#: live values come from ``SystemConfig.tuning`` (see repro.config).
+BANK_OCCUPANCY = 4
+OWNERSHIP_OCCUPANCY = 16
+
+
+@dataclass
+class Access:
+    """Outcome of one memory operation.
+
+    ``latency`` is the stall the issuing core must take (1 for a hit or a
+    non-blocking store).  ``value`` is the loaded/old value.  ``hit`` is
+    True when the access was served entirely from the private L1.
+
+    ``retry`` means the home directory was busy with another transaction
+    on this line (MESI's blocking directory): no state changed, no value
+    is valid, and the core must stall ``latency`` cycles and re-issue.
+    Re-issuing (rather than folding the queue delay into one atomic
+    transaction) makes values resolve at directory *service* time, which
+    is what arbitrates racing requests realistically.
+    """
+
+    value: int
+    latency: int
+    hit: bool
+    retry: bool = False
+
+
+class CoherenceProtocol(ABC):
+    """Common machinery: topology, store, traffic, counters."""
+
+    name = "abstract"
+
+    def __init__(self, config: SystemConfig, allocator: Optional[RegionAllocator] = None):
+        self.config = config
+        self.amap = AddressMap(config)
+        self.mesh = Mesh(config)
+        self.memory = BackingStore()
+        self.traffic = TrafficLedger()
+        self.counters = ProtocolCounters()
+        self.allocator = allocator
+        self.now = 0  # kept current by the cores before each operation
+
+    # -- time ---------------------------------------------------------------
+
+    def set_time(self, now: int) -> None:
+        """Cores call this with the simulator clock before each operation."""
+        self.now = now
+
+    # -- operations -----------------------------------------------------------
+
+    @abstractmethod
+    def load(
+        self,
+        core_id: int,
+        addr: int,
+        sync: bool = False,
+        ticketed: bool = False,
+        acquire: bool = False,
+    ) -> Access:
+        """A load; ``sync`` marks synchronization (volatile/atomic) reads.
+
+        ``ticketed`` marks the re-issue of a request that was told to retry
+        (it holds a directory reservation and must be serviced now);
+        ``acquire`` marks acquire semantics (consumed by signature-based
+        data consistency, a no-op otherwise)."""
+
+    @abstractmethod
+    def store(
+        self,
+        core_id: int,
+        addr: int,
+        value: int,
+        sync: bool = False,
+        release: bool = False,
+        ticketed: bool = False,
+    ) -> Access:
+        """A store.  Data stores are non-blocking (latency 1); sync stores
+        block until ownership/registration is obtained."""
+
+    @abstractmethod
+    def rmw(
+        self,
+        core_id: int,
+        addr: int,
+        fn: Callable[[int], Optional[int]],
+        release: bool = False,
+        ticketed: bool = False,
+        acquire: bool = False,
+    ) -> Access:
+        """An atomic read-modify-write.  ``fn(old)`` returns the new value,
+        or None to leave memory unchanged (a failed CAS).  Returns the old
+        value.  Always a synchronization access."""
+
+    @abstractmethod
+    def self_invalidate(
+        self, core_id: int, regions: list[Region], flush_all: bool = False
+    ) -> int:
+        """Software self-invalidation of ``regions`` at an acquire; returns
+        the local latency (a no-op for MESI).  ``flush_all`` invalidates
+        every non-registered word (the no-region-information fallback)."""
+
+    def on_acquire(self, core_id: int, addr: int) -> None:
+        """Acquire-semantics hook (cores call it for acquire-marked ops,
+        including the successful probe of a spin wait).  Only the
+        signature-based DeNovo variant does anything with it."""
+
+    # -- spin-wait support -----------------------------------------------------
+
+    def sync_read_backoff(
+        self, core_id: int, addr: int, spinning: bool = False
+    ) -> int:
+        """Cycles of hardware backoff to insert before a sync read.
+
+        ``spinning`` marks spin-wait re-probes (see
+        :meth:`repro.protocols.backoff.BackoffState.stall_cycles`).
+        Zero for every protocol except DeNovoSync.
+        """
+        return 0
+
+    def subscribe_line_change(
+        self, core_id: int, addr: int, callback: Callable[[int], None]
+    ) -> bool:
+        """Ask to be notified when the cached copy of ``addr`` is invalidated.
+
+        The callback receives the wake-up cycle.  MESI supports this for any
+        cached copy (a spinner sits on its Shared copy and is woken by the
+        writer's invalidation).  DeNovo supports it only for a word the core
+        has *Registered* (the spinner hits locally until a remote request
+        steals the registration, which is the wake-up event); in every other
+        state the caller must poll, because each re-read is a real miss.
+        Returns False when no subscription is possible — re-probe instead.
+        """
+        return False
+
+    # -- traffic helpers --------------------------------------------------------
+
+    def record_control(self, klass: MessageClass, src: int, dst: int) -> None:
+        self.traffic.record(klass, control_flits(), self.mesh.hops(src, dst))
+
+    def record_data(
+        self, klass: MessageClass, src: int, dst: int, payload_bytes: int
+    ) -> None:
+        self.traffic.record(klass, data_flits(payload_bytes), self.mesh.hops(src, dst))
+
+    # -- shared latency helpers ---------------------------------------------------
+
+    def llc_fetch_latency(self, core_id: int, line: int) -> tuple[int, bool]:
+        """Latency to fetch ``line`` at its home bank, touching it in.
+
+        Returns (latency, cold): cold misses pay the memory latency and the
+        extra controller traffic is charged by the caller.
+        """
+        bank = self.amap.home_bank(line)
+        cold = self.memory.touch_line(line)
+        if cold:
+            self.counters.bump("cold_misses")
+            return self.mesh.memory_latency(core_id, bank), True
+        return self.mesh.l2_access_latency(core_id, bank), False
+
+    def record_memory_fill(self, klass: MessageClass, line: int) -> None:
+        """Traffic of a cold-miss line fill between controller and bank."""
+        bank = self.amap.home_bank(line)
+        controller = self.mesh.nearest_controller(bank)
+        self.traffic.record(
+            klass, control_flits(), self.mesh.hops(bank, controller)
+        )
+        self.traffic.record(
+            klass,
+            data_flits(self.config.line_bytes),
+            self.mesh.hops(controller, bank),
+        )
+
+    def region_id_of(self, addr: int) -> Optional[int]:
+        if self.allocator is None:
+            return None
+        region = self.allocator.region_of(addr)
+        return region.region_id if region is not None else None

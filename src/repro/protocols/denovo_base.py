@@ -1,0 +1,385 @@
+"""Shared DeNovo machinery: word-granularity registration protocol.
+
+DeNovo keeps exactly three states per *word* — Invalid, Valid, Registered —
+and replaces the sharer-list directory with a *registry*: the LLC data bank
+holds either the word's value or a pointer to the core that registered it.
+There are no writer-initiated invalidations and no sharer lists; writes
+(and, in DeNovoSync0/DeNovoSync, synchronization reads) serialize through
+point-to-point registration transfers.  The registry is non-blocking:
+unlike the MESI directory there is never a queuing delay at the LLC.
+
+This module implements the *data* access behaviour from the original
+DeNovo (PACT'11), which both synchronization protocols inherit:
+
+* data read hit on Valid or Registered; misses fill every word of the line
+  available at the LLC (only valid words travel, a big traffic saving);
+* data writes register immediately and are non-blocking;
+* software self-invalidation instructions drop the Valid words of the
+  named regions at acquires, leaving Registered words in place.
+
+Subclasses add the synchronization-access policy (registration of sync
+reads; hardware backoff).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.mem.l1 import DeNovoL1, DeNovoState
+from repro.mem.regions import Region
+from repro.noc.messages import MessageClass
+from repro.protocols.base import Access, CoherenceProtocol
+
+#: Cycles for the local flash self-invalidation instruction.
+SELF_INVALIDATE_LATENCY = 1
+
+
+class DeNovoBaseProtocol(CoherenceProtocol):
+    """Data-access behaviour common to DeNovoSync0 and DeNovoSync."""
+
+    name = "DeNovoBase"
+
+    def __init__(self, config, allocator=None):
+        super().__init__(config, allocator)
+        self.l1s = [
+            DeNovoL1(core, config, self.amap, self._make_evict_handler(core))
+            for core in range(config.num_cores)
+        ]
+        if allocator is not None:
+            for l1 in self.l1s:
+                l1.set_region_lookup(self.region_id_of)
+        # word address -> core id currently registered (absent: value at LLC)
+        self.registry: dict[int, int] = {}
+        # word address -> [(core_id, callback)] spin-waiters asleep on their
+        # Registered copy, woken when a remote request steals it.
+        self._word_waiters: dict[int, list[tuple[int, Callable[[int], None]]]] = {}
+        # word address -> cycle at which the last pending registration
+        # transfer completes.  The registry itself never blocks, but
+        # concurrent registrations to one word chain through the L1 MSHRs
+        # (the paper's "queue distributed among the L1 caches"), so each
+        # transfer starts only when its predecessor finishes.
+        self._reg_chain: dict[int, int] = {}
+        # per-core line -> last data-store registration time, for the
+        # store-buffer write-combining model (see _store_aggregates).
+        self._store_burst: list[dict[int, int]] = [
+            {} for _ in range(config.num_cores)
+        ]
+
+    def _make_evict_handler(self, core_id: int):
+        def on_evict_registered(addr: int, value: int) -> None:
+            # A replaced Registered word returns its registration (and value)
+            # to the LLC: a word-granularity writeback.
+            if self.registry.get(addr) == core_id:
+                del self.registry[addr]
+            bank = self.amap.home_bank_of_addr(addr)
+            self.record_data(
+                MessageClass.WRITEBACK, core_id, bank, self.config.word_bytes
+            )
+            self.counters.bump("writebacks")
+
+        return on_evict_registered
+
+    # -- hooks the DeNovoSync subclass overrides ---------------------------
+
+    def on_registration_stolen(
+        self, victim: int, addr: int, by_sync_read: bool
+    ) -> None:
+        """Called when ``victim`` loses a registration to a remote request."""
+
+    def on_sync_hit(self, core_id: int, addr: int) -> None:
+        """Called on a sync read/RMW hit to Registered state."""
+
+    def on_release(self, core_id: int, addr: int) -> None:
+        """Called when a release (to sync variable ``addr``) completes."""
+
+    # -- data loads ----------------------------------------------------------
+
+    def load(
+        self,
+        core_id: int,
+        addr: int,
+        sync: bool = False,
+        ticketed: bool = False,
+        acquire: bool = False,
+    ) -> Access:
+        if sync:
+            access = self.sync_load(core_id, addr)
+            if acquire:
+                self.on_acquire(core_id, addr)
+            return access
+        l1 = self.l1s[core_id]
+        state = l1.state_of(addr)
+        if state is not DeNovoState.INVALID:
+            self.counters.bump("l1_hits")
+            value = l1.value_of(addr)
+            assert value is not None
+            return Access(value, self.config.l1_hit_latency, hit=True)
+
+        self.counters.bump("l1_misses")
+        line = self.amap.line_of(addr)
+        bank = self.amap.home_bank(line)
+        owner = self.registry.get(addr)
+        self.record_control(MessageClass.LOAD, core_id, bank)
+
+        if owner is not None and owner != core_id:
+            # The word is registered at a remote L1: three-hop fetch.  The
+            # owner stays Registered (reads do not revoke) and its response
+            # carries every word of the line it has registered — DeNovo
+            # transfers lines but only their valid words.
+            latency = self.mesh.remote_l1_latency(core_id, bank, owner)
+            self.record_control(MessageClass.LOAD, bank, owner)
+            filled = self._fill_line_valid_words(
+                core_id, line, from_owner=owner
+            )
+            self.record_data(
+                MessageClass.LOAD, owner, core_id, self.config.word_bytes * filled
+            )
+            value = self.memory.read(addr)
+            return Access(value, latency, hit=False)
+
+        latency, cold = self.llc_fetch_latency(core_id, line)
+        if cold:
+            self.record_memory_fill(MessageClass.LOAD, line)
+        filled = self._fill_line_valid_words(core_id, line, from_owner=None)
+        self.record_data(
+            MessageClass.LOAD, bank, core_id, self.config.word_bytes * filled
+        )
+        value = self.memory.read(addr)
+        return Access(value, latency, hit=False)
+
+    def _fill_line_valid_words(
+        self, core_id: int, line: int, from_owner: Optional[int]
+    ) -> int:
+        """Fill the words of ``line`` the responder can supply; return count.
+
+        With ``from_owner`` None the responder is the LLC, which has every
+        word not registered at a remote core.  Otherwise the responder is
+        the L1 that has the requested word registered, which supplies every
+        word of the line *it* has registered.  Words already present
+        locally are left alone (only Invalid words fill, as Valid).
+        """
+        l1 = self.l1s[core_id]
+        filled = 0
+        for word_addr in self.amap.words_of_line(line):
+            registrant = self.registry.get(word_addr)
+            if from_owner is None:
+                available = registrant is None or registrant == core_id
+            else:
+                available = registrant == from_owner
+            if not available:
+                continue
+            if l1.state_of(word_addr, touch=False) is not DeNovoState.INVALID:
+                continue
+            l1.fill_word(word_addr, self.memory.read(word_addr), DeNovoState.VALID)
+            filled += 1
+        return filled
+
+    # -- data stores --------------------------------------------------------
+
+    def store(
+        self,
+        core_id: int,
+        addr: int,
+        value: int,
+        sync: bool = False,
+        release: bool = False,
+        ticketed: bool = False,
+    ) -> Access:
+        if sync:
+            return self.sync_store(core_id, addr, value, release=release)
+        l1 = self.l1s[core_id]
+        old = self.memory.read(addr)
+        if l1.state_of(addr) is DeNovoState.REGISTERED:
+            self.counters.bump("l1_hits")
+            l1.write_word(addr, value)
+            self.memory.write(addr, value)
+            return Access(old, self.config.l1_hit_latency, hit=True)
+
+        # Immediate transition to Registered, registration request in the
+        # background: data writes never block the core.
+        self.counters.bump("l1_misses")
+        if self._store_aggregates(core_id, addr):
+            # Write-combining: the registration piggybacks on the line's
+            # in-flight registration message (a wider word mask), so it
+            # adds no traffic.  Only possible when no remote owner must be
+            # downgraded.
+            self.registry[addr] = core_id
+            self.counters.bump("aggregated_store_registrations")
+        else:
+            self._register(core_id, addr, MessageClass.STORE, invalidate_prev=True)
+        l1.fill_word(addr, value, DeNovoState.REGISTERED)
+        self.memory.write(addr, value)
+        return Access(old, self.config.l1_hit_latency, hit=False)
+
+    @property
+    def STORE_AGGREGATION_WINDOW(self) -> int:
+        """Cycles within which data stores to one line combine into a single
+        registration message (the L1 store buffer's per-line word mask)."""
+        return self.config.tuning.store_aggregation_window
+
+    def _store_aggregates(self, core_id: int, addr: int) -> bool:
+        """True when this data-store registration can ride along a recent
+        registration message for the same line (no remote owner involved).
+
+        DeNovo aggregates stores per line in the store buffer, issuing one
+        registration with a word mask instead of one message per word —
+        without it a streaming writer would pay 16x MESI's message count.
+        Word granularity is preserved: a word owned by another core always
+        takes the full point-to-point transfer path.
+        """
+        owner = self.registry.get(addr)
+        if owner is not None and owner != core_id:
+            return False
+        line = self.amap.line_of(addr)
+        window = self._store_burst[core_id]
+        last = window.get(line)
+        window[line] = self.now
+        if len(window) > 64:  # keep the tracking structure small
+            cutoff = self.now - self.STORE_AGGREGATION_WINDOW
+            for stale in [ln for ln, t in window.items() if t < cutoff]:
+                del window[stale]
+        return last is not None and self.now - last <= self.STORE_AGGREGATION_WINDOW
+
+    def _register(
+        self,
+        core_id: int,
+        addr: int,
+        klass: MessageClass,
+        invalidate_prev: bool,
+        carry_data_back: bool = False,
+    ) -> tuple[int, bool]:
+        """Move ``addr``'s registration to ``core_id``.
+
+        Returns (latency, cold).  ``invalidate_prev`` selects the previous
+        registrant's downgrade target: Invalid for writes, Valid for sync
+        reads (the Valid copy is unusable but arms the backoff trigger).
+        ``carry_data_back`` adds a word of payload on the response (sync
+        reads need the value; writes overwrite it anyway).
+        """
+        line = self.amap.line_of(addr)
+        bank = self.amap.home_bank(line)
+        prev = self.registry.get(addr)
+        self.record_control(klass, core_id, bank)
+        self.counters.bump("registration_transfers")
+
+        # Concurrent registrations of one word chain through the L1 MSHRs
+        # (the paper's "queue distributed among the L1 caches").  The chain
+        # is pipelined: a queued request is serviced the moment its
+        # predecessor's ack lands, so each link costs only the predecessor-
+        # to-requester forward, while an unqueued request pays the normal
+        # transfer latency.
+        chain_end = self._reg_chain.get(addr, 0)
+
+        if prev is not None and prev != core_id:
+            transfer = self.mesh.remote_l1_latency(core_id, bank, prev)
+            link = self._chain_link_cost(prev, core_id)
+            self.record_control(klass, bank, prev)
+            if carry_data_back:
+                self.record_data(klass, prev, core_id, self.config.word_bytes)
+            else:
+                self.record_control(klass, prev, core_id)
+            target = DeNovoState.INVALID if invalidate_prev else DeNovoState.VALID
+            self.l1s[prev].downgrade(addr, target)
+            self.on_registration_stolen(prev, addr, by_sync_read=not invalidate_prev)
+            cold = False
+        else:
+            transfer, cold = self.llc_fetch_latency(core_id, line)
+            link = self._chain_link_cost(bank, core_id)
+            if cold:
+                self.record_memory_fill(klass, line)
+            if carry_data_back:
+                self.record_data(klass, bank, core_id, self.config.word_bytes)
+            else:
+                self.record_control(klass, bank, core_id)
+
+        completion = max(self.now + transfer, chain_end + link)
+        latency = completion - self.now
+        if completion > self.now + transfer:
+            self.counters.bump("registration_chain_waits")
+        if prev is not None and prev != core_id:
+            self._notify_word_waiters(addr, prev, completion)
+        self.registry[addr] = core_id
+        self._reg_chain[addr] = completion
+        return latency, cold
+
+    def _chain_link_cost(self, src: int, dst: int) -> int:
+        """Serialization cost of one link in a pipelined registration chain:
+        the MSHR processing at each hand-off.  The network legs of
+        consecutive forwards overlap (the LLC dispatches them as they
+        arrive), so only the L1's servicing of its stored request
+        serializes."""
+        return self.config.tuning.chain_link_cost
+
+    # -- synchronization accesses: defined by subclasses ----------------------
+
+    def sync_load(self, core_id: int, addr: int) -> Access:
+        raise NotImplementedError
+
+    def sync_store(
+        self, core_id: int, addr: int, value: int, release: bool = False
+    ) -> Access:
+        raise NotImplementedError
+
+    def rmw(
+        self,
+        core_id: int,
+        addr: int,
+        fn: Callable[[int], Optional[int]],
+        release: bool = False,
+        ticketed: bool = False,
+        acquire: bool = False,
+    ) -> Access:
+        raise NotImplementedError
+
+    # -- spin-wait subscriptions ---------------------------------------------------
+
+    def subscribe_line_change(
+        self, core_id: int, addr: int, callback: Callable[[int], None]
+    ) -> bool:
+        """Sleep on a Registered word; woken when the registration is stolen.
+
+        A Registered spinner hits locally every cycle until a remote write
+        or sync read takes the registration away, so the steal is the only
+        event that can change what it observes.  Any other state means each
+        re-read is a real miss and the caller must poll.
+        """
+        if self.l1s[core_id].state_of(addr, touch=False) is not DeNovoState.REGISTERED:
+            return False
+        self._word_waiters.setdefault(addr, []).append((core_id, callback))
+        return True
+
+    def _notify_word_waiters(self, addr: int, core_id: int, wake_time: int) -> None:
+        waiters = self._word_waiters.get(addr)
+        if not waiters:
+            return
+        remaining = []
+        for waiter_core, callback in waiters:
+            if waiter_core == core_id:
+                callback(wake_time)
+            else:
+                remaining.append((waiter_core, callback))
+        if remaining:
+            self._word_waiters[addr] = remaining
+        else:
+            del self._word_waiters[addr]
+
+    # -- self-invalidation -------------------------------------------------------
+
+    def self_invalidate(
+        self, core_id: int, regions: list[Region], flush_all: bool = False
+    ) -> int:
+        """Flash-invalidate the Valid words of ``regions`` in this core's L1.
+
+        ``flush_all`` drops every Valid word regardless of region — the
+        always-correct fallback when the program supplies no region
+        information (paper section 3).  Registered words stay either way.
+        """
+        l1 = self.l1s[core_id]
+        if flush_all:
+            dropped = l1.self_invalidate_all()
+        else:
+            dropped = 0
+            for region in regions:
+                dropped += l1.self_invalidate_region(region.region_id)
+        self.counters.bump("self_invalidated_words", dropped)
+        return self.config.tuning.self_invalidate_latency

@@ -1,0 +1,57 @@
+"""DeNovoSync: DeNovoSync0 plus adaptive hardware backoff (paper §4.2).
+
+Identical protocol states and transitions to DeNovoSync0; the only change
+is on the requester side: a synchronization *read* to a word in Valid
+state consults the core's backoff counter and stalls that many cycles
+before issuing its registration miss.  Valid state is reached exactly when
+a remote sync read stole this core's registration, so the stall kicks in
+precisely under read-sharing contention — the ping-pong scenario where
+DeNovoSync0 wastes misses.  Synchronization writes are never delayed.
+
+The counter update rules live in :mod:`repro.protocols.backoff`.
+"""
+
+from __future__ import annotations
+
+from repro.mem.l1 import DeNovoState
+from repro.protocols.backoff import BackoffState
+from repro.protocols.denovosync0 import DeNovoSync0Protocol
+
+
+class DeNovoSyncProtocol(DeNovoSync0Protocol):
+    name = "DeNovoSync"
+
+    def __init__(self, config, allocator=None):
+        super().__init__(config, allocator)
+        self.backoff_states = [
+            BackoffState(config.backoff) for _ in range(config.num_cores)
+        ]
+
+    def sync_read_backoff(
+        self, core_id: int, addr: int, spinning: bool = False
+    ) -> int:
+        """Stall to insert before a sync read (cores query this first).
+
+        Only reads to Valid state back off: Valid marks a word whose
+        registration was stolen by a remote sync read, i.e. observed
+        contention.  Initial reads (Invalid) and hits (Registered) issue
+        immediately.
+        """
+        if self.l1s[core_id].state_of(addr, touch=False) is not DeNovoState.VALID:
+            return 0
+        stall = self.backoff_states[core_id].stall_cycles(spinning=spinning)
+        if stall > 0:
+            self.counters.bump("hw_backoff_events")
+        return stall
+
+    # -- hook overrides wiring the counters in ------------------------------
+
+    def on_registration_stolen(self, victim: int, addr: int, by_sync_read: bool) -> None:
+        if by_sync_read:
+            self.backoff_states[victim].on_incoming_sync_read_steal()
+
+    def on_sync_hit(self, core_id: int, addr: int) -> None:
+        self.backoff_states[core_id].on_registered_hit()
+
+    def on_release(self, core_id: int, addr: int) -> None:
+        self.backoff_states[core_id].on_release()

@@ -1,0 +1,127 @@
+"""DeNovoSync0: registration of all synchronization reads (paper §4.1).
+
+The protocol treats a synchronization read like a read-modify-write: it
+must register at the LLC, and only one reader can be registered at a time
+(the single-reader constraint).  Together with DeNovo's single-writer
+registration this gives write propagation, write atomicity and write
+serialization — sequential consistency for racy synchronization accesses —
+without writer-initiated invalidations, sharer lists, or new protocol
+states.
+
+Consequences modelled here, straight from the paper:
+
+* a sync read hits only in Registered state; Valid is "not a usable valid
+  copy" and misses again (write propagation via reader re-fetch);
+* a sync read miss steals the registration from the previous registrant,
+  which downgrades Registered -> Valid (a false R-R/W-R race when the value
+  had not changed — the source of DeNovoSync0's pre-linearization cost);
+* a sync write/RMW miss steals the registration and the previous
+  registrant invalidates its copy;
+* registrations transfer point-to-point via the non-blocking registry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.mem.l1 import DeNovoState
+from repro.noc.messages import MessageClass
+from repro.protocols.base import Access
+from repro.protocols.denovo_base import DeNovoBaseProtocol
+
+
+class DeNovoSync0Protocol(DeNovoBaseProtocol):
+    name = "DeNovoSync0"
+
+    # -- sync loads -----------------------------------------------------------
+
+    def sync_load(self, core_id: int, addr: int) -> Access:
+        l1 = self.l1s[core_id]
+        if l1.state_of(addr) is DeNovoState.REGISTERED:
+            self.counters.bump("l1_hits")
+            self.counters.bump("sync_read_hits")
+            self.on_sync_hit(core_id, addr)
+            value = l1.value_of(addr)
+            assert value is not None
+            return Access(value, self.config.l1_hit_latency, hit=True)
+
+        self.counters.bump("l1_misses")
+        self.counters.bump("sync_read_misses")
+        had_owner = self.registry.get(addr) not in (None, core_id)
+        if had_owner:
+            self.counters.bump("read_registration_steals")
+        latency, _ = self._register(
+            core_id,
+            addr,
+            MessageClass.SYNCH,
+            invalidate_prev=False,  # sync reads downgrade the victim to Valid
+            carry_data_back=True,
+        )
+        value = self.memory.read(addr)
+        l1.fill_word(addr, value, DeNovoState.REGISTERED)
+        return Access(value, latency, hit=False)
+
+    # -- sync stores -------------------------------------------------------------
+
+    def sync_store(
+        self, core_id: int, addr: int, value: int, release: bool = False
+    ) -> Access:
+        l1 = self.l1s[core_id]
+        old = self.memory.read(addr)
+        if l1.state_of(addr) is DeNovoState.REGISTERED:
+            self.counters.bump("l1_hits")
+            l1.write_word(addr, value)
+            self.memory.write(addr, value)
+            if release:
+                self.on_release(core_id, addr)
+            return Access(old, self.config.l1_hit_latency, hit=True)
+
+        self.counters.bump("l1_misses")
+        latency, _ = self._register(
+            core_id, addr, MessageClass.SYNCH, invalidate_prev=True
+        )
+        l1.fill_word(addr, value, DeNovoState.REGISTERED)
+        self.memory.write(addr, value)
+        if release:
+            self.on_release(core_id, addr)
+        return Access(old, latency, hit=False)
+
+    # -- RMWs ---------------------------------------------------------------------
+
+    def rmw(
+        self,
+        core_id: int,
+        addr: int,
+        fn: Callable[[int], Optional[int]],
+        release: bool = False,
+        ticketed: bool = False,
+        acquire: bool = False,
+    ) -> Access:
+        l1 = self.l1s[core_id]
+        if l1.state_of(addr) is DeNovoState.REGISTERED:
+            self.counters.bump("l1_hits")
+            latency = self.config.l1_hit_latency
+            hit = True
+            self.on_sync_hit(core_id, addr)
+        else:
+            self.counters.bump("l1_misses")
+            latency, _ = self._register(
+                core_id,
+                addr,
+                MessageClass.SYNCH,
+                invalidate_prev=True,
+                carry_data_back=True,
+            )
+            hit = False
+        old = self.memory.read(addr)
+        new = fn(old)
+        written = old if new is None else new
+        l1.fill_word(addr, written, DeNovoState.REGISTERED)
+        if new is not None:
+            self.memory.write(addr, new)
+        if release:
+            self.on_release(core_id, addr)
+        if acquire:
+            self.on_acquire(core_id, addr)
+        self.counters.bump("rmws")
+        return Access(old, latency, hit=hit)

@@ -1,0 +1,5 @@
+"""Event-driven simulation engine."""
+
+from repro.sim.engine import Event, Simulator
+
+__all__ = ["Event", "Simulator"]

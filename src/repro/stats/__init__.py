@@ -1,0 +1,6 @@
+"""Statistics: execution-time decomposition and run results."""
+
+from repro.stats.timeparts import TimeComponent, TimeBreakdown
+from repro.stats.collector import ProtocolCounters, RunResult
+
+__all__ = ["TimeComponent", "TimeBreakdown", "ProtocolCounters", "RunResult"]

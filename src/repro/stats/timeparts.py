@@ -1,0 +1,59 @@
+"""Execution-time decomposition.
+
+The paper's figures stack per-run execution time into: non-synchronization
+compute (the dummy work between kernel iterations), kernel compute (1 cycle
+per instruction, including spinning hits), memory stall (for both data and
+synchronization accesses inside the kernel), software backoff, hardware
+backoff (DeNovoSync only), and barrier stall (time in the end-of-kernel
+barrier, indicating load imbalance).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from enum import Enum
+
+
+class TimeComponent(Enum):
+    NON_SYNCH = "non-synch"
+    COMPUTE = "compute"
+    MEMORY_STALL = "memory stall"
+    SW_BACKOFF = "sw backoff"
+    HW_BACKOFF = "hw backoff"
+    BARRIER_STALL = "barrier"
+
+
+class TimeBreakdown:
+    """Per-core cycle accounting by :class:`TimeComponent`."""
+
+    def __init__(self) -> None:
+        self._cycles: Counter[TimeComponent] = Counter()
+
+    def add(self, component: TimeComponent, cycles: int) -> None:
+        if cycles < 0:
+            raise ValueError(f"negative cycles for {component}: {cycles}")
+        self._cycles[component] += cycles
+
+    def get(self, component: TimeComponent) -> int:
+        return self._cycles[component]
+
+    def total(self) -> int:
+        return sum(self._cycles.values())
+
+    def as_dict(self) -> dict[str, int]:
+        return {c.value: self._cycles[c] for c in TimeComponent}
+
+    def merged_with(self, other: "TimeBreakdown") -> "TimeBreakdown":
+        merged = TimeBreakdown()
+        merged._cycles = self._cycles + other._cycles
+        return merged
+
+    @staticmethod
+    def average(breakdowns: list["TimeBreakdown"]) -> dict[str, float]:
+        """Mean cycles per component across cores (the figures' bar height)."""
+        if not breakdowns:
+            return {c.value: 0.0 for c in TimeComponent}
+        n = len(breakdowns)
+        return {
+            c.value: sum(b.get(c) for b in breakdowns) / n for c in TimeComponent
+        }

@@ -1,0 +1,112 @@
+"""Barrier algorithms (paper sections 5.3.1 and 6.3).
+
+Three barriers, all derived from the pseudo-code in Scott's *Shared
+Memory Synchronization* [33]:
+
+* :class:`CentralBarrier` — centralized sense-reversing barrier: arrivals
+  fetch-and-increment a shared counter; the last arriver resets it and
+  flips the global sense that all waiters spin on.  Many readers of one
+  word: the pattern where DeNovo's serialized read registrations hurt.
+* :class:`TreeBarrier` — static tree barrier with configurable arrival
+  fan-in and departure fan-out (binary: 2/2; the paper's n-ary variant:
+  fan-in 4, fan-out 2).  Every flag word has exactly one writer and one
+  reader, the scalable single-producer/single-consumer pattern where all
+  protocols behave alike.
+
+Flags carry episode numbers rather than reversing senses, which keeps
+every flag single-writer and makes barriers reusable without reset
+writes; each ``wait`` call must pass a strictly increasing ``episode``.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.isa import Fai, Store, WaitLoad
+from repro.cpu.thread import ThreadCtx
+from repro.mem.regions import RegionAllocator
+
+
+class CentralBarrier:
+    """Centralized sense-reversing barrier over one counter and one sense."""
+
+    def __init__(self, allocator: RegionAllocator, nthreads: int, name: str = "cbar"):
+        if nthreads < 1:
+            raise ValueError("nthreads must be >= 1")
+        self.nthreads = nthreads
+        self.count = allocator.alloc_sync(f"{name}.count").base
+        self.sense = allocator.alloc_sync(f"{name}.sense").base
+
+    def wait(self, ctx: ThreadCtx, episode: int):
+        """Generator: block until all ``nthreads`` threads arrive.
+
+        ``episode`` must increase by one per barrier instance; the sense
+        word publishes the episode number of the last completed barrier.
+        """
+        # Arrival publishes this thread's writes (release) and picks up
+        # everyone who arrived earlier (acquire) — both through the counter.
+        arrived = yield Fai(self.count, release=True, acquire=True)
+        if arrived == self.nthreads - 1:
+            # Last arriver: reset the counter and release everyone.
+            yield Store(self.count, 0, sync=True)
+            yield Store(self.sense, episode, sync=True, release=True)
+        else:
+            yield WaitLoad(
+                self.sense, lambda v, e=episode: v >= e, sync=True, acquire=True
+            )
+
+
+class TreeBarrier:
+    """Static tree barrier; fan-in for arrival, fan-out for departure.
+
+    Threads form two static trees over their ids (node 0 is the root).
+    On arrival each node waits for its arrival-tree children and then
+    raises its own flag for its parent; the root then starts the departure
+    wave down the departure tree.  Flags hold episode numbers.
+    """
+
+    def __init__(
+        self,
+        allocator: RegionAllocator,
+        nthreads: int,
+        fan_in: int = 2,
+        fan_out: int = 2,
+        name: str = "tbar",
+    ):
+        if nthreads < 1:
+            raise ValueError("nthreads must be >= 1")
+        if fan_in < 2 or fan_out < 2:
+            raise ValueError("fan_in and fan_out must be >= 2")
+        self.nthreads = nthreads
+        self.fan_in = fan_in
+        self.fan_out = fan_out
+        self.arrive = [
+            allocator.alloc(f"{name}.arrive{i}", 1, line_align=True).base
+            for i in range(nthreads)
+        ]
+        self.depart = [
+            allocator.alloc(f"{name}.depart{i}", 1, line_align=True).base
+            for i in range(nthreads)
+        ]
+
+    def _children(self, node: int, fan: int) -> list[int]:
+        first = fan * node + 1
+        return [c for c in range(first, first + fan) if c < self.nthreads]
+
+    def wait(self, ctx: ThreadCtx, episode: int):
+        """Generator: block until all threads reach episode ``episode``."""
+        me = ctx.core_id
+        # Arrival: gather the children, then signal the parent.
+        for child in self._children(me, self.fan_in):
+            yield WaitLoad(
+                self.arrive[child], lambda v, e=episode: v >= e, sync=True,
+                acquire=True,
+            )
+        if me != 0:
+            # Publish our (and our subtree's) writes to the parent.
+            yield Store(self.arrive[me], episode, sync=True, release=True)
+            yield WaitLoad(
+                self.depart[me], lambda v, e=episode: v >= e, sync=True,
+                acquire=True,
+            )
+        # Departure: wake the departure-tree children.
+        for child in self._children(me, self.fan_out):
+            yield Store(self.depart[child], episode, sync=True, release=True)

@@ -1,0 +1,107 @@
+"""Condition variables and a bounded buffer (extension).
+
+The paper inserts self-invalidations into "the POSIX thread library
+synchronization routines that were used" by its applications; this module
+supplies the corresponding constructs for our workloads: a
+generation-count condition variable usable with any of the lock classes,
+and the classic mutex+condvar bounded buffer built on it.
+
+The condition variable keeps a generation number per condition: waiters
+snapshot it under the lock, release, and spin until it moves (so a
+notify between the snapshot and the wait cannot be lost), then reacquire.
+``notify_all`` bumps the generation with a release-marked
+fetch-and-increment, which both wakes every waiter and publishes the
+notifier's writes under the signature protocol.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.isa import Fai, Load, WaitLoad
+from repro.cpu.thread import ThreadCtx
+from repro.mem.regions import RegionAllocator
+
+
+class ConditionVariable:
+    """A generation-count condition variable."""
+
+    def __init__(self, allocator: RegionAllocator, name: str = "cond"):
+        self.seq = allocator.alloc_sync(f"{name}.seq").base
+
+    def wait(self, ctx: ThreadCtx, lock, token):
+        """Generator: atomically release ``lock`` and wait for a notify,
+        then reacquire.  Returns the new lock token.
+
+        As with POSIX condition variables, waking says nothing about the
+        predicate — callers re-check it in a loop.
+        """
+        generation = yield Load(self.seq, sync=True)
+        yield from lock.release(token)
+        yield WaitLoad(
+            self.seq, lambda v, g=generation: v != g, sync=True, acquire=True
+        )
+        token = yield from lock.acquire(ctx)
+        return token
+
+    def notify_all(self):
+        """Generator: wake every current waiter (callers hold the lock)."""
+        yield Fai(self.seq, release=True)
+
+
+class BoundedBuffer:
+    """The classic mutex + two-condvar bounded FIFO buffer."""
+
+    def __init__(
+        self, allocator: RegionAllocator, lock, capacity: int, name: str = "bb"
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.lock = lock
+        self.capacity = capacity
+        self.region = allocator.region(f"{name}.data")
+        self.head = allocator.alloc(f"{name}.data").base
+        self.tail = allocator.alloc(f"{name}.data").base
+        self.slots = allocator.alloc(f"{name}.data", capacity).base
+        self.not_full = ConditionVariable(allocator, f"{name}.notfull")
+        self.not_empty = ConditionVariable(allocator, f"{name}.notempty")
+
+    def _size(self):
+        head = yield Load(self.head)
+        tail = yield Load(self.tail)
+        return tail - head
+
+    def put(self, ctx: ThreadCtx, value: int):
+        """Generator: blocks while the buffer is full."""
+        from repro.cpu.isa import SelfInvalidate, Store
+
+        token = yield from self.lock.acquire(ctx)
+        yield SelfInvalidate((self.region,))
+        while True:
+            size = yield from self._size()
+            if size < self.capacity:
+                break
+            token = yield from self.not_full.wait(ctx, self.lock, token)
+            yield SelfInvalidate((self.region,))
+        tail = yield Load(self.tail)
+        yield Store(self.slots + tail % self.capacity, value)
+        yield Store(self.tail, tail + 1)
+        yield from self.not_empty.notify_all()
+        yield from self.lock.release(token)
+
+    def get(self, ctx: ThreadCtx):
+        """Generator: blocks while the buffer is empty; returns the value."""
+        from repro.cpu.isa import SelfInvalidate, Store
+
+        token = yield from self.lock.acquire(ctx)
+        yield SelfInvalidate((self.region,))
+        while True:
+            size = yield from self._size()
+            if size > 0:
+                break
+            token = yield from self.not_empty.wait(ctx, self.lock, token)
+            yield SelfInvalidate((self.region,))
+        head = yield Load(self.head)
+        value = yield Load(self.slots + head % self.capacity)
+        yield Store(self.head, head + 1)
+        yield from self.not_full.notify_all()
+        yield from self.lock.release(token)
+        return value

@@ -1,0 +1,233 @@
+"""Lock-based concurrent data structures (paper section 5.3.1).
+
+Adapted from the Michael & Scott 1998 kernels: a single-lock circular
+queue, the two-lock (head lock / tail lock) linked queue, a locked stack
+and a locked array heap.  Each structure works with either lock flavour
+(TATAS or array lock) through the shared ``token = yield from
+lock.acquire(ctx)`` / ``yield from lock.release(token)`` convention.
+
+Every method self-invalidates the structure's data region right after the
+acquire, as the paper's region-based static self-invalidation scheme
+requires for DeNovo (a no-op under MESI).  The heap's data-dependent
+sift paths are what make its conservative whole-region invalidation
+expensive for DeNovo (section 7.1.2).
+"""
+
+from __future__ import annotations
+
+from repro.cpu.isa import Load, SelfInvalidate, Store
+from repro.cpu.thread import ThreadCtx
+from repro.mem.regions import RegionAllocator
+
+#: Sentinel returned by dequeue/pop/extract on an empty structure.
+EMPTY = None
+
+
+class SingleLockQueue:
+    """A circular-buffer FIFO protected by one lock."""
+
+    def __init__(
+        self, allocator: RegionAllocator, lock, capacity: int, name: str = "slq"
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.lock = lock
+        self.capacity = capacity
+        # head/tail/buf all live in one region protected by the lock.
+        self.region = allocator.region(f"{name}.data")
+        self.head = allocator.alloc(f"{name}.data").base
+        self.tail = allocator.alloc(f"{name}.data").base
+        self.buf = allocator.alloc(f"{name}.data", capacity).base
+
+    def enqueue(self, ctx: ThreadCtx, value: int):
+        token = yield from self.lock.acquire(ctx)
+        yield SelfInvalidate((self.region,))
+        tail = yield Load(self.tail)
+        yield Store(self.buf + tail % self.capacity, value)
+        yield Store(self.tail, tail + 1)
+        yield from self.lock.release(token)
+
+    def dequeue(self, ctx: ThreadCtx):
+        token = yield from self.lock.acquire(ctx)
+        yield SelfInvalidate((self.region,))
+        head = yield Load(self.head)
+        tail = yield Load(self.tail)
+        if head == tail:
+            yield from self.lock.release(token)
+            return EMPTY
+        value = yield Load(self.buf + head % self.capacity)
+        yield Store(self.head, head + 1)
+        yield from self.lock.release(token)
+        return value
+
+
+class DoubleLockQueue:
+    """The Michael & Scott two-lock queue: a linked list with a dummy node.
+
+    Enqueuers serialize on the tail lock, dequeuers on the head lock, so
+    the two ends proceed concurrently.  Nodes are [value, next] pairs,
+    bump-allocated from per-thread pools (no reuse, which also sidesteps
+    ABA concerns for the non-blocking cousins sharing this layout).
+    """
+
+    NODE_WORDS = 2  # [value, next]
+
+    def __init__(
+        self,
+        allocator: RegionAllocator,
+        head_lock,
+        tail_lock,
+        nodes_per_thread: int,
+        nthreads: int,
+        name: str = "dlq",
+    ):
+        self.head_lock = head_lock
+        self.tail_lock = tail_lock
+        self.region = allocator.region(f"{name}.data")
+        self.head = allocator.alloc(f"{name}.data").base
+        self.tail = allocator.alloc(f"{name}.data").base
+        self.dummy = allocator.alloc(f"{name}.data", self.NODE_WORDS).base
+        self._pools = [
+            allocator.alloc(f"{name}.data", self.NODE_WORDS * (nodes_per_thread + 1)).base
+            for _ in range(nthreads)
+        ]
+        self._next_node = [0] * nthreads
+
+    def initial_values(self) -> dict[int, int]:
+        return {self.head: self.dummy, self.tail: self.dummy}
+
+    def _alloc_node(self, thread: int) -> int:
+        index = self._next_node[thread]
+        self._next_node[thread] = index + 1
+        return self._pools[thread] + index * self.NODE_WORDS
+
+    def enqueue(self, ctx: ThreadCtx, value: int):
+        node = self._alloc_node(ctx.core_id)
+        yield Store(node, value)  # node.value
+        yield Store(node + 1, 0)  # node.next = null
+        token = yield from self.tail_lock.acquire(ctx)
+        yield SelfInvalidate((self.region,))
+        tail_node = yield Load(self.tail)
+        yield Store(tail_node + 1, node)  # tail->next = node
+        yield Store(self.tail, node)
+        yield from self.tail_lock.release(token)
+
+    def dequeue(self, ctx: ThreadCtx):
+        token = yield from self.head_lock.acquire(ctx)
+        yield SelfInvalidate((self.region,))
+        head_node = yield Load(self.head)
+        nxt = yield Load(head_node + 1)
+        if nxt == 0:
+            yield from self.head_lock.release(token)
+            return EMPTY
+        value = yield Load(nxt)  # new dummy's value is the dequeued one
+        yield Store(self.head, nxt)
+        yield from self.head_lock.release(token)
+        return value
+
+
+class LockedStack:
+    """A bounded array stack protected by one lock."""
+
+    def __init__(
+        self, allocator: RegionAllocator, lock, capacity: int, name: str = "lstack"
+    ):
+        self.lock = lock
+        self.capacity = capacity
+        self.region = allocator.region(f"{name}.data")
+        self.top = allocator.alloc(f"{name}.data").base
+        self.buf = allocator.alloc(f"{name}.data", capacity).base
+
+    def push(self, ctx: ThreadCtx, value: int):
+        token = yield from self.lock.acquire(ctx)
+        yield SelfInvalidate((self.region,))
+        top = yield Load(self.top)
+        if top >= self.capacity:
+            yield from self.lock.release(token)
+            raise OverflowError("LockedStack overflow")
+        yield Store(self.buf + top, value)
+        yield Store(self.top, top + 1)
+        yield from self.lock.release(token)
+
+    def pop(self, ctx: ThreadCtx):
+        token = yield from self.lock.acquire(ctx)
+        yield SelfInvalidate((self.region,))
+        top = yield Load(self.top)
+        if top == 0:
+            yield from self.lock.release(token)
+            return EMPTY
+        value = yield Load(self.buf + top - 1)
+        yield Store(self.top, top - 1)
+        yield from self.lock.release(token)
+        return value
+
+
+class LockedHeap:
+    """A bounded binary min-heap protected by one lock.
+
+    Insert/extract sift along data-dependent paths, so DeNovo's
+    conservative whole-region self-invalidation at each acquire forces
+    re-fetching nodes that were in fact unchanged — the effect the paper
+    blames for heap's DeNovo slowdown under array locks (section 7.1.2).
+    """
+
+    def __init__(
+        self, allocator: RegionAllocator, lock, capacity: int, name: str = "lheap"
+    ):
+        self.lock = lock
+        self.capacity = capacity
+        self.region = allocator.region(f"{name}.data")
+        self.size = allocator.alloc(f"{name}.data").base
+        self.buf = allocator.alloc(f"{name}.data", capacity).base
+
+    def insert(self, ctx: ThreadCtx, value: int):
+        token = yield from self.lock.acquire(ctx)
+        yield SelfInvalidate((self.region,))
+        size = yield Load(self.size)
+        if size >= self.capacity:
+            yield from self.lock.release(token)
+            raise OverflowError("LockedHeap overflow")
+        # Sift up.
+        hole = size
+        while hole > 0:
+            parent = (hole - 1) // 2
+            pval = yield Load(self.buf + parent)
+            if pval <= value:
+                break
+            yield Store(self.buf + hole, pval)
+            hole = parent
+        yield Store(self.buf + hole, value)
+        yield Store(self.size, size + 1)
+        yield from self.lock.release(token)
+
+    def extract_min(self, ctx: ThreadCtx):
+        token = yield from self.lock.acquire(ctx)
+        yield SelfInvalidate((self.region,))
+        size = yield Load(self.size)
+        if size == 0:
+            yield from self.lock.release(token)
+            return EMPTY
+        result = yield Load(self.buf)
+        last = yield Load(self.buf + size - 1)
+        size -= 1
+        yield Store(self.size, size)
+        # Sift down from the root with the last element.
+        hole = 0
+        while True:
+            child = 2 * hole + 1
+            if child >= size:
+                break
+            cval = yield Load(self.buf + child)
+            if child + 1 < size:
+                rval = yield Load(self.buf + child + 1)
+                if rval < cval:
+                    child += 1
+                    cval = rval
+            if cval >= last:
+                break
+            yield Store(self.buf + hole, cval)
+            hole = child
+        if size > 0:
+            yield Store(self.buf + hole, last)
+        yield from self.lock.release(token)
+        return result

@@ -1,0 +1,70 @@
+"""MCS list-based queuing lock (Mellor-Crummey & Scott).
+
+The list-based cousin of the Anderson array lock the paper evaluates
+("array/list based queuing locks [4]", section 5.3.1): acquirers enqueue
+a per-thread queue node with an atomic swap on the tail pointer and spin
+on their own node's ``locked`` flag; the releaser hands the lock to its
+successor by clearing that flag.  Like the array lock this gives one
+spinner per word — the single-producer/single-consumer pattern where all
+three protocols behave alike — but with O(threads) space per lock instead
+of a fixed array, and strict FIFO order.
+
+Each thread owns one queue node per lock (the classic usage: a thread has
+at most one outstanding acquire per lock, so nodes are safely reused).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cpu.isa import Cas, Load, Store, Swap, WaitLoad
+from repro.cpu.thread import ThreadCtx
+from repro.mem.regions import RegionAllocator
+
+NULL = 0
+LOCKED = 1
+UNLOCKED = 0
+
+
+class McsLock:
+    """An MCS queue lock with per-thread, line-padded queue nodes."""
+
+    NODE_WORDS = 2  # [locked, next]
+
+    def __init__(self, allocator: RegionAllocator, nthreads: int, name: str = "mcs"):
+        if nthreads < 1:
+            raise ValueError("nthreads must be >= 1")
+        self.tail = allocator.alloc_sync(f"{name}.tail").base
+        self.nodes = [
+            allocator.alloc(f"{name}.node{t}", self.NODE_WORDS, line_align=True).base
+            for t in range(nthreads)
+        ]
+
+    def _node(self, ctx: ThreadCtx) -> int:
+        return self.nodes[ctx.core_id]
+
+    def acquire(self, ctx: ThreadCtx):
+        """Generator: returns this thread's queue node (pass to release)."""
+        node = self._node(ctx)
+        yield Store(node + 1, NULL, sync=True)  # node.next = null
+        pred = yield Swap(self.tail, node, acquire=True)  # enqueue + acquire
+        if pred != NULL:
+            # Mark ourselves waiting *before* linking, so the releaser
+            # cannot observe the link and hand off before we spin.
+            yield Store(node, LOCKED, sync=True)
+            yield Store(pred + 1, node, sync=True)  # pred.next = node
+            yield WaitLoad(node, lambda v: v == UNLOCKED, sync=True, acquire=True)
+        return node
+
+    def release(self, token: int):
+        """Generator: hand the lock to the successor (``token`` = our node)."""
+        node = token
+        successor = yield Load(node + 1, sync=True)  # node.next
+        if successor == NULL:
+            # Nobody visibly queued: try to swing the tail back to null.
+            old = yield Cas(self.tail, node, NULL, release=True)
+            if old == node:
+                return
+            # A thread is mid-enqueue; wait for it to link itself.
+            successor = yield WaitLoad(node + 1, lambda v: v != NULL, sync=True)
+        yield Store(successor, UNLOCKED, sync=True, release=True)

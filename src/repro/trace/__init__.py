@@ -1,0 +1,21 @@
+"""Memory-access tracing: record, analyze, and replay.
+
+The recorder wraps a coherence protocol and logs every access with its
+outcome; the analysis module computes the summaries a protocol architect
+reaches for (miss rates by kind, hot words, sharing degrees); the replay
+module turns a recorded trace back into a workload so reference streams
+can be re-driven through a protocol (classic trace-driven simulation).
+"""
+
+from repro.trace.events import AccessRecord
+from repro.trace.recorder import TracingProtocol
+from repro.trace.analysis import TraceSummary, summarize
+from repro.trace.replay import TraceReplayWorkload
+
+__all__ = [
+    "AccessRecord",
+    "TraceReplayWorkload",
+    "TraceSummary",
+    "TracingProtocol",
+    "summarize",
+]

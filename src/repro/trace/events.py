@@ -1,0 +1,57 @@
+"""Trace records and their on-disk (JSONL) format."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One memory access as observed at the protocol boundary.
+
+    ``kind`` is one of ``load``, ``store``, ``rmw``, ``selfinv``.
+    ``value`` is the loaded/old value (stores record the written value).
+    ``latency`` and ``hit`` describe the outcome under the traced
+    protocol; replay ignores them (the replayed protocol produces its
+    own).
+    """
+
+    cycle: int
+    core: int
+    kind: str
+    addr: int
+    sync: bool = False
+    release: bool = False
+    value: int = 0
+    latency: int = 0
+    hit: bool = False
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), separators=(",", ":"))
+
+    @staticmethod
+    def from_json(line: str) -> "AccessRecord":
+        return AccessRecord(**json.loads(line))
+
+
+def write_trace(records, path) -> int:
+    """Write records to a JSONL file; returns the count written."""
+    count = 0
+    with open(path, "w") as fh:
+        for record in records:
+            fh.write(record.to_json())
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def read_trace(path) -> list[AccessRecord]:
+    """Read a JSONL trace file."""
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(AccessRecord.from_json(line))
+    return records

@@ -1,0 +1,151 @@
+"""A protocol wrapper that records every access it forwards.
+
+``TracingProtocol`` is a transparent decorator around any
+:class:`~repro.protocols.base.CoherenceProtocol`: cores talk to it
+exactly as they would to the wrapped protocol, and every load, store,
+RMW and self-invalidation lands in the trace (directory retries are not
+recorded — they are re-issues of the same access).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.mem.regions import Region
+from repro.protocols.base import Access, CoherenceProtocol
+from repro.trace.events import AccessRecord
+
+
+class TracingProtocol:
+    """Record accesses while delegating everything to ``inner``."""
+
+    def __init__(self, inner: CoherenceProtocol):
+        self.inner = inner
+        self.records: list[AccessRecord] = []
+
+    # -- delegated attributes the cores/runner rely on ---------------------
+
+    @property
+    def name(self) -> str:
+        return self.inner.name
+
+    @property
+    def config(self):
+        return self.inner.config
+
+    @property
+    def memory(self):
+        return self.inner.memory
+
+    @property
+    def traffic(self):
+        return self.inner.traffic
+
+    @property
+    def counters(self):
+        return self.inner.counters
+
+    @property
+    def now(self) -> int:
+        return self.inner.now
+
+    @property
+    def allocator(self):
+        return self.inner.allocator
+
+    def set_time(self, now: int) -> None:
+        self.inner.set_time(now)
+
+    def sync_read_backoff(self, core_id: int, addr: int, spinning: bool = False) -> int:
+        return self.inner.sync_read_backoff(core_id, addr, spinning=spinning)
+
+    def subscribe_line_change(self, core_id, addr, callback) -> bool:
+        return self.inner.subscribe_line_change(core_id, addr, callback)
+
+    def on_acquire(self, core_id: int, addr: int) -> None:
+        self.inner.on_acquire(core_id, addr)
+
+    # -- recorded operations -------------------------------------------------
+
+    def load(
+        self,
+        core_id: int,
+        addr: int,
+        sync: bool = False,
+        ticketed: bool = False,
+        acquire: bool = False,
+    ) -> Access:
+        access = self.inner.load(
+            core_id, addr, sync=sync, ticketed=ticketed, acquire=acquire
+        )
+        if not access.retry:
+            self._record("load", core_id, addr, sync, False, access)
+        return access
+
+    def store(
+        self,
+        core_id: int,
+        addr: int,
+        value: int,
+        sync: bool = False,
+        release: bool = False,
+        ticketed: bool = False,
+    ) -> Access:
+        access = self.inner.store(
+            core_id, addr, value, sync=sync, release=release, ticketed=ticketed
+        )
+        if not access.retry:
+            self._record("store", core_id, addr, sync, release, access, value=value)
+        return access
+
+    def rmw(
+        self,
+        core_id: int,
+        addr: int,
+        fn: Callable[[int], Optional[int]],
+        release: bool = False,
+        ticketed: bool = False,
+        acquire: bool = False,
+    ) -> Access:
+        access = self.inner.rmw(
+            core_id, addr, fn, release=release, ticketed=ticketed, acquire=acquire
+        )
+        if not access.retry:
+            # Record the post-RMW value so replay can pin the outcome.
+            self._record(
+                "rmw", core_id, addr, True, release, access,
+                value=self.inner.memory.read(addr),
+            )
+        return access
+
+    def self_invalidate(
+        self, core_id: int, regions: list[Region], flush_all: bool = False
+    ) -> int:
+        latency = self.inner.self_invalidate(core_id, regions, flush_all=flush_all)
+        self.records.append(
+            AccessRecord(
+                cycle=self.inner.now,
+                core=core_id,
+                kind="selfinv",
+                addr=-1 if flush_all else (regions[0].region_id if regions else -1),
+                latency=latency,
+            )
+        )
+        return latency
+
+    def _record(
+        self, kind, core_id, addr, sync, release, access: Access, value=None
+    ) -> None:
+        self.records.append(
+            AccessRecord(
+                cycle=self.inner.now,
+                core=core_id,
+                kind=kind,
+                addr=addr,
+                sync=sync,
+                release=release,
+                value=access.value if value is None else value,
+                latency=access.latency,
+                hit=access.hit,
+            )
+        )

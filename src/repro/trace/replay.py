@@ -1,0 +1,84 @@
+"""Trace replay: drive a protocol from a recorded reference stream.
+
+Classic trace-driven simulation: the recorded per-core access streams are
+replayed in order, with the recorded inter-access gaps reproduced as
+compute delays.  Synchronization *outcomes* are pinned to the recorded
+execution — an RMW replays as an unconditional store of its recorded
+result — because a trace cannot re-arbitrate races; what replay preserves
+is the reference stream (addresses, kinds, sync flags, per-core order),
+which is exactly what cache/coherence studies replay traces for.
+
+The replayed timing is protocol-dependent (that is the point): replaying
+a MESI-recorded trace under DeNovoSync shows how the same reference
+stream fares without writer-initiated invalidations.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.config import SystemConfig
+from repro.cpu.isa import Compute, Load, Store, Swap
+from repro.mem.address import AddressMap
+from repro.mem.regions import RegionAllocator
+from repro.trace.events import AccessRecord
+from repro.workloads.base import Workload, WorkloadInstance
+
+
+class TraceReplayWorkload(Workload):
+    """Replay a recorded trace as one program per originating core."""
+
+    name = "trace-replay"
+
+    def __init__(self, records: list[AccessRecord], compress_gaps: int = 10_000):
+        """``compress_gaps`` caps any single inter-access think time, so
+        stalls of the traced protocol do not get baked into the replay."""
+        self.records = records
+        self.compress_gaps = compress_gaps
+
+    def build(self, config: SystemConfig, *, seed: int = 0) -> WorkloadInstance:
+        per_core: dict[int, list[AccessRecord]] = defaultdict(list)
+        max_addr = 0
+        for record in self.records:
+            if record.kind in ("load", "store", "rmw"):
+                if record.core >= config.num_cores:
+                    raise ValueError(
+                        f"trace uses core {record.core}, config has "
+                        f"{config.num_cores}"
+                    )
+                per_core[record.core].append(record)
+                max_addr = max(max_addr, record.addr)
+
+        allocator = RegionAllocator(AddressMap(config))
+        if max_addr >= allocator.words_allocated:
+            allocator.alloc("trace.space", max_addr - allocator.words_allocated + 1)
+
+        programs = []
+        for core_id in range(config.num_cores):
+            programs.append(self._program(per_core.get(core_id, [])))
+        return WorkloadInstance(
+            name=self.name,
+            allocator=allocator,
+            programs=programs,
+            meta={"replayed_records": sum(len(v) for v in per_core.values())},
+        )
+
+    def _program(self, records: list[AccessRecord]):
+        previous_cycle = None
+        for record in records:
+            if previous_cycle is not None:
+                gap = record.cycle - previous_cycle
+                gap = max(0, min(gap, self.compress_gaps))
+                # Subtract the access's own issue cycle; the replayed
+                # protocol charges its own latency.
+                if gap > 1:
+                    yield Compute(gap - 1)
+            previous_cycle = record.cycle
+            if record.kind == "load":
+                yield Load(record.addr, sync=record.sync)
+            elif record.kind == "store":
+                yield Store(
+                    record.addr, record.value, sync=record.sync, release=record.release
+                )
+            else:  # rmw: pin the recorded outcome
+                yield Swap(record.addr, record.value, release=record.release)

@@ -1,0 +1,5 @@
+"""Workloads: the paper's 24 synchronization kernels and 13 applications."""
+
+from repro.workloads.base import KernelSpec, Workload, WorkloadInstance
+
+__all__ = ["KernelSpec", "Workload", "WorkloadInstance"]

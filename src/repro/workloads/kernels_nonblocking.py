@@ -1,0 +1,178 @@
+"""Non-blocking synchronization kernels (paper Figure 5).
+
+Six kernels adapted from Michael & Scott 1998: Michael-Scott queue, PLJ
+queue, Treiber stack, Herlihy stack, Herlihy heap, and a fetch-and-
+increment counter.  Each iteration performs one insertion and one
+retrieval (one increment for FAI); every kernel uses software exponential
+backoff in [128, 2048) cycles after a failed attempt, per section 5.3.1.
+
+The Herlihy kernels accept ``reduced_checks=True`` to build the modified
+versions with fewer equality checks that section 7.1.3 evaluates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.config import SystemConfig
+from repro.cpu.thread import ThreadCtx
+from repro.mem.regions import RegionAllocator
+from repro.synclib.counters import FaiCounter
+from repro.synclib.herlihy import HerlihyHeap, HerlihyStack
+from repro.synclib.msqueue import MichaelScottQueue
+from repro.synclib.pljqueue import PLJQueue
+from repro.synclib.treiber import TreiberStack
+from repro.workloads.base import (
+    KernelSpec,
+    KernelWorkload,
+    PAPER_ITERATIONS_FAI,
+)
+
+
+class NonBlockingKernel(KernelWorkload):
+    """Shared scaffolding for the non-blocking kernels."""
+
+    base_name = "abstract"
+
+    def __init__(
+        self, spec: Optional[KernelSpec] = None, software_backoff: bool = True
+    ):
+        super().__init__(spec)
+        self.software_backoff = software_backoff
+        self.name = self.base_name
+
+
+class MSQueueKernel(NonBlockingKernel):
+    base_name = "M-S queue"
+
+    def setup(self, config: SystemConfig, allocator: RegionAllocator):
+        self.queue = MichaelScottQueue(
+            allocator,
+            nodes_per_thread=self.spec.scaled_iterations(),
+            nthreads=config.num_cores,
+            software_backoff=self.software_backoff,
+        )
+        return self.queue.initial_values()
+
+    def body(self, ctx: ThreadCtx, iteration: int) -> Iterable:
+        yield from self.queue.enqueue(ctx, iteration + 1)
+        yield from self.queue.dequeue(ctx)
+
+
+class PLJQueueKernel(NonBlockingKernel):
+    base_name = "PLJ queue"
+
+    def setup(self, config: SystemConfig, allocator: RegionAllocator):
+        total_ops = config.num_cores * self.spec.scaled_iterations()
+        self.queue = PLJQueue(
+            allocator, total_ops=total_ops, software_backoff=self.software_backoff
+        )
+        return {}
+
+    def body(self, ctx: ThreadCtx, iteration: int) -> Iterable:
+        yield from self.queue.enqueue(ctx, iteration + 1)
+        yield from self.queue.dequeue(ctx)
+
+
+class TreiberStackKernel(NonBlockingKernel):
+    base_name = "Treiber stack"
+
+    def setup(self, config: SystemConfig, allocator: RegionAllocator):
+        self.stack = TreiberStack(
+            allocator,
+            nodes_per_thread=self.spec.scaled_iterations(),
+            nthreads=config.num_cores,
+            software_backoff=self.software_backoff,
+        )
+        return {}
+
+    def body(self, ctx: ThreadCtx, iteration: int) -> Iterable:
+        yield from self.stack.push(ctx, iteration + 1)
+        yield from self.stack.pop(ctx)
+
+
+class HerlihyStackKernel(NonBlockingKernel):
+    base_name = "Herlihy stack"
+
+    def __init__(
+        self,
+        spec: Optional[KernelSpec] = None,
+        software_backoff: bool = True,
+        reduced_checks: bool = True,
+    ):
+        super().__init__(spec, software_backoff)
+        self.reduced_checks = reduced_checks
+
+    def setup(self, config: SystemConfig, allocator: RegionAllocator):
+        self.stack = HerlihyStack(
+            allocator,
+            capacity=2 * config.num_cores + 8,
+            blocks_per_thread=2 * self.spec.scaled_iterations() + 1,
+            nthreads=config.num_cores,
+            reduced_checks=self.reduced_checks,
+            software_backoff=self.software_backoff,
+        )
+        return self.stack.initial_values()
+
+    def body(self, ctx: ThreadCtx, iteration: int) -> Iterable:
+        yield from self.stack.push(ctx, iteration + 1)
+        yield from self.stack.pop(ctx)
+
+
+class HerlihyHeapKernel(NonBlockingKernel):
+    base_name = "Herlihy heap"
+
+    def __init__(
+        self,
+        spec: Optional[KernelSpec] = None,
+        software_backoff: bool = True,
+        reduced_checks: bool = True,
+    ):
+        super().__init__(spec, software_backoff)
+        self.reduced_checks = reduced_checks
+
+    def setup(self, config: SystemConfig, allocator: RegionAllocator):
+        self.heap = HerlihyHeap(
+            allocator,
+            capacity=2 * config.num_cores + 8,
+            blocks_per_thread=2 * self.spec.scaled_iterations() + 1,
+            nthreads=config.num_cores,
+            reduced_checks=self.reduced_checks,
+            software_backoff=self.software_backoff,
+        )
+        return self.heap.initial_values()
+
+    def body(self, ctx: ThreadCtx, iteration: int) -> Iterable:
+        key = ctx.rng.randrange(1, 1 << 20)
+        yield from self.heap.insert(ctx, key)
+        yield from self.heap.extract_min(ctx)
+
+
+class FaiCounterKernel(NonBlockingKernel):
+    """The FAI counter runs 1000 iterations in the paper (it is tiny)."""
+
+    base_name = "FAI counter"
+
+    def __init__(
+        self, spec: Optional[KernelSpec] = None, software_backoff: bool = True
+    ):
+        spec = spec or KernelSpec(iterations=PAPER_ITERATIONS_FAI)
+        super().__init__(spec, software_backoff)
+
+    def setup(self, config: SystemConfig, allocator: RegionAllocator):
+        self.counter = FaiCounter(allocator)
+        return {}
+
+    def body(self, ctx: ThreadCtx, iteration: int) -> Iterable:
+        yield from self.counter.increment(ctx)
+
+
+#: The Figure 5 kernel set, in figure order.
+NONBLOCKING_KERNELS = {
+    "M-S queue": MSQueueKernel,
+    "PLJ queue": PLJQueueKernel,
+    "Treiber stack": TreiberStackKernel,
+    "Herlihy stack": HerlihyStackKernel,
+    "Herlihy heap": HerlihyHeapKernel,
+    "FAI counter": FaiCounterKernel,
+}

@@ -1,0 +1,194 @@
+"""Coherence microbenchmarks (extension).
+
+The standard protocol-characterization suite: each microbenchmark
+isolates one sharing pattern so protocol behaviours can be read directly
+off the counters.
+
+* :class:`PingPong` — two cores alternately write one word: pure
+  ownership-transfer latency.
+* :class:`ReadOnlySharing` — all cores repeatedly read a shared block:
+  writer-free steady state (everything should hit after warm-up).
+* :class:`FalseSharingMicro` — each core hammers its own word of a
+  *shared line*: MESI's line-granularity pathology, DeNovo's word-state
+  immunity.
+* :class:`ProducerConsumer` — SPSC flag + payload handoff chain.
+* :class:`AllToAll` — phase-wise write-your-block / read-all-blocks, the
+  FFT-transpose pattern.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator
+
+from repro.config import SystemConfig
+from repro.cpu.isa import Compute, Load, SelfInvalidate, Store, WaitLoad
+from repro.cpu.thread import ThreadCtx
+from repro.mem.address import AddressMap
+from repro.mem.regions import RegionAllocator
+from repro.synclib.barriers import TreeBarrier
+from repro.workloads.base import Workload, WorkloadInstance
+
+
+class _MicroBase(Workload):
+    """Shared build scaffolding: allocator, contexts, end barrier."""
+
+    def __init__(self, rounds: int = 20):
+        if rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        self.rounds = rounds
+
+    def build(self, config: SystemConfig, *, seed: int = 0) -> WorkloadInstance:
+        allocator = RegionAllocator(AddressMap(config))
+        state = self.setup(config, allocator)
+        end_barrier = TreeBarrier(allocator, config.num_cores, name="micro.end")
+        programs = []
+        for core_id in range(config.num_cores):
+            ctx = ThreadCtx(
+                core_id=core_id,
+                num_cores=config.num_cores,
+                config=config,
+                allocator=allocator,
+                rng=random.Random(seed * 1009 + core_id),
+            )
+            programs.append(self._wrap(ctx, state, end_barrier))
+        return WorkloadInstance(
+            name=self.name, allocator=allocator, programs=programs,
+            initial_values=self.initial_values(state),
+        )
+
+    def _wrap(self, ctx, state, end_barrier):
+        yield from self.body(ctx, state)
+        yield from end_barrier.wait(ctx, episode=1)
+
+    def setup(self, config: SystemConfig, allocator: RegionAllocator):
+        raise NotImplementedError
+
+    def initial_values(self, state) -> dict[int, int]:
+        return {}
+
+    def body(self, ctx: ThreadCtx, state) -> Generator:
+        raise NotImplementedError
+
+
+class PingPong(_MicroBase):
+    """Cores 0 and 1 alternately increment one word via turn-taking."""
+
+    name = "micro.pingpong"
+
+    def setup(self, config, allocator):
+        return {"word": allocator.alloc_sync("pp.word").base}
+
+    def body(self, ctx, state):
+        word = state["word"]
+        if ctx.core_id > 1:
+            return
+        me = ctx.core_id
+        for turn in range(self.rounds):
+            expected = 2 * turn + me
+            yield WaitLoad(word, lambda v, e=expected: v >= e, sync=True)
+            yield Store(word, expected + 1, sync=True, release=True)
+
+
+class ReadOnlySharing(_MicroBase):
+    """Everyone repeatedly reads a shared block nobody writes."""
+
+    name = "micro.readonly"
+
+    BLOCK_WORDS = 64
+
+    def setup(self, config, allocator):
+        return {"block": allocator.alloc("ro.block", self.BLOCK_WORDS).base}
+
+    def body(self, ctx, state):
+        block = state["block"]
+        for round_no in range(self.rounds):
+            for offset in range(self.BLOCK_WORDS):
+                yield Load(block + offset)
+            yield Compute(50)
+
+
+class FalseSharingMicro(_MicroBase):
+    """Each core read-modify-writes its own word of shared lines."""
+
+    name = "micro.falsesharing"
+
+    def setup(self, config, allocator):
+        block = allocator.alloc("fs.block", config.num_cores)
+        return {"base": block.base}
+
+    def body(self, ctx, state):
+        mine = state["base"] + ctx.core_id
+        for round_no in range(self.rounds):
+            value = yield Load(mine)
+            yield Store(mine, value + 1)
+            yield Compute(20)
+
+
+class ProducerConsumer(_MicroBase):
+    """A chain of SPSC handoffs: core i feeds core i+1."""
+
+    name = "micro.prodcons"
+
+    PAYLOAD_WORDS = 4
+
+    def setup(self, config, allocator):
+        n = config.num_cores
+        return {
+            "flags": [allocator.alloc_sync(f"pc.flag{i}").base for i in range(n)],
+            "region": allocator.region("pc.payload"),
+            "payloads": [
+                allocator.alloc("pc.payload", self.PAYLOAD_WORDS, line_align=True).base
+                for _ in range(n)
+            ],
+        }
+
+    def body(self, ctx, state):
+        me, left = ctx.core_id, ctx.core_id - 1
+        for seq in range(1, self.rounds + 1):
+            if left >= 0:
+                yield WaitLoad(state["flags"][left], lambda v, s=seq: v >= s, sync=True)
+                yield SelfInvalidate((state["region"],))
+                for w in range(self.PAYLOAD_WORDS):
+                    yield Load(state["payloads"][left] + w)
+            if me < ctx.num_cores - 1:
+                for w in range(self.PAYLOAD_WORDS):
+                    yield Store(state["payloads"][me] + w, seq)
+                yield Store(state["flags"][me], seq, sync=True, release=True)
+
+
+class AllToAll(_MicroBase):
+    """Write your block, barrier, read everyone's blocks (transpose)."""
+
+    name = "micro.alltoall"
+
+    BLOCK_WORDS = 16
+
+    def setup(self, config, allocator):
+        n = config.num_cores
+        return {
+            "region": allocator.region("a2a.blocks"),
+            "blocks": [
+                allocator.alloc("a2a.blocks", self.BLOCK_WORDS, line_align=True).base
+                for _ in range(n)
+            ],
+            "barrier": TreeBarrier(allocator, n, name="a2a.bar"),
+        }
+
+    def body(self, ctx, state):
+        mine = state["blocks"][ctx.core_id]
+        for round_no in range(self.rounds):
+            for w in range(self.BLOCK_WORDS):
+                yield Store(mine + w, round_no * 100 + w)
+            yield from state["barrier"].wait(ctx, episode=2 * round_no + 1)
+            yield SelfInvalidate((state["region"],))
+            for other in range(ctx.num_cores):
+                for w in range(self.BLOCK_WORDS):
+                    yield Load(state["blocks"][other] + w)
+            yield from state["barrier"].wait(ctx, episode=2 * round_no + 2)
+
+
+MICROBENCHES = {
+    cls.name: cls
+    for cls in (PingPong, ReadOnlySharing, FalseSharingMicro, ProducerConsumer, AllToAll)
+}

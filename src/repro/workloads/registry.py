@@ -1,0 +1,50 @@
+"""Name-based registry of every workload in the evaluation."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.workloads.base import KernelSpec, Workload
+from repro.workloads.kernels_barrier import barrier_kernel_names, make_barrier_kernel
+from repro.workloads.kernels_lock import LOCK_KERNELS
+from repro.workloads.kernels_nonblocking import NONBLOCKING_KERNELS
+
+
+def make_kernel(
+    figure: str, name: str, spec: Optional[KernelSpec] = None, **kwargs
+) -> Workload:
+    """Build one kernel by (figure, bar-name).
+
+    ``figure`` is one of ``tatas``, ``array``, ``nonblocking``, ``barrier``
+    (Figures 3-6 respectively); ``name`` is the bar label from the figure.
+    Extra keyword arguments reach the kernel constructor (e.g.
+    ``software_backoff``, ``reduced_checks``).
+    """
+    if figure in ("tatas", "array", "mcs"):
+        # "mcs" is an extension family (list-based queuing locks), not a
+        # paper figure; it reuses the Figure 3/4 kernel bodies.
+        return LOCK_KERNELS[name](lock_type=figure, spec=spec, **kwargs)
+    if figure == "nonblocking":
+        return NONBLOCKING_KERNELS[name](spec=spec, **kwargs)
+    if figure == "barrier":
+        return make_barrier_kernel(name, spec=spec)
+    raise ValueError(f"unknown kernel figure {figure!r}")
+
+
+def kernel_names(figure: str) -> list[str]:
+    """The bar labels of one kernel figure, in figure order."""
+    if figure in ("tatas", "array", "mcs"):
+        return list(LOCK_KERNELS)
+    if figure == "nonblocking":
+        return list(NONBLOCKING_KERNELS)
+    if figure == "barrier":
+        return barrier_kernel_names()
+    raise ValueError(f"unknown kernel figure {figure!r}")
+
+
+KERNEL_FIGURES = ("tatas", "array", "nonblocking", "barrier")
+
+
+def all_kernel_ids() -> list[tuple[str, str]]:
+    """All 24 (figure, name) kernel identifiers."""
+    return [(fig, name) for fig in KERNEL_FIGURES for name in kernel_names(fig)]

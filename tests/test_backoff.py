@@ -1,0 +1,97 @@
+"""Unit tests for the DeNovoSync hardware backoff counters."""
+
+from repro.config import BackoffConfig
+from repro.protocols.backoff import BackoffState
+
+
+def make(bits=9, inc=1, period=16) -> BackoffState:
+    return BackoffState(BackoffConfig(bits, inc, period))
+
+
+class TestBackoffCounter:
+    def test_starts_at_zero(self):
+        assert make().stall_cycles(spinning=True) == 0
+
+    def test_incoming_steal_bumps_by_increment(self):
+        state = make()
+        state.on_incoming_sync_read_steal()
+        assert state.backoff == 1
+
+    def test_wraps_on_overflow(self):
+        state = make(bits=3, inc=3, period=100)
+        for _ in range(3):
+            state.on_incoming_sync_read_steal()
+        assert state.backoff == (3 * 3) & 0b111  # 9 mod 8 = 1
+
+    def test_hit_resets(self):
+        state = make()
+        state.on_incoming_sync_read_steal()
+        state.on_registered_hit()
+        assert state.backoff == 0
+
+    def test_stall_consumes_counter(self):
+        state = make()
+        state.on_incoming_sync_read_steal()
+        assert state.stall_cycles(spinning=True) == 1
+        assert state.stall_cycles(spinning=True) == 0
+
+    def test_rearms_after_consumption(self):
+        state = make()
+        state.on_incoming_sync_read_steal()
+        state.stall_cycles(spinning=True)
+        state.on_incoming_sync_read_steal()
+        assert state.stall_cycles(spinning=True) == 1
+
+
+class TestIncrementCounter:
+    def test_grows_every_update_period(self):
+        state = make(inc=2, period=4)
+        for _ in range(3):
+            state.on_incoming_sync_read_steal()
+        assert state.increment == 2
+        state.on_incoming_sync_read_steal()  # 4th steal
+        assert state.increment == 4
+
+    def test_release_resets_increment(self):
+        state = make(inc=2, period=2)
+        for _ in range(4):
+            state.on_incoming_sync_read_steal()
+        assert state.increment > 2
+        state.on_release()
+        assert state.increment == 2
+
+    def test_increment_applies_to_backoff(self):
+        state = make(inc=1, period=2)
+        state.on_incoming_sync_read_steal()  # +1
+        state.on_incoming_sync_read_steal()  # period hit: inc=2, +2
+        assert state.backoff == 3
+
+
+class TestEpisodeSuppression:
+    def test_non_spinning_stall_once_per_episode(self):
+        state = make()
+        state.on_incoming_sync_read_steal()
+        assert state.stall_cycles() == 1
+        state.on_incoming_sync_read_steal()
+        assert state.stall_cycles() == 0  # suppressed mid-episode
+
+    def test_release_opens_new_episode(self):
+        state = make()
+        state.on_incoming_sync_read_steal()
+        state.stall_cycles()
+        state.on_release()
+        state.on_incoming_sync_read_steal()
+        assert state.stall_cycles() == 1
+
+    def test_spinning_stalls_not_suppressed(self):
+        state = make()
+        state.on_incoming_sync_read_steal()
+        state.stall_cycles()  # non-spinning, sets the episode flag
+        state.on_incoming_sync_read_steal()
+        assert state.stall_cycles(spinning=True) == 1
+
+    def test_zero_stall_does_not_consume_episode(self):
+        state = make()
+        assert state.stall_cycles() == 0
+        state.on_incoming_sync_read_steal()
+        assert state.stall_cycles() == 1

@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.harness.cli import main as cli_main
+
+
+class TestFigureTargets:
+    def test_fig3_table_output(self, capsys):
+        assert cli_main(["fig3", "--cores", "16", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "single Q" in out
+
+    def test_plot_format(self, capsys):
+        assert (
+            cli_main(["fig3", "--cores", "16", "--scale", "0.02", "--format", "plot"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "execution time" in out
+        assert "|" in out
+
+    def test_csv_format(self, capsys):
+        assert (
+            cli_main(["fig3", "--cores", "16", "--scale", "0.02", "--format", "csv"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        header = out.splitlines()[0]
+        assert header.startswith("figure,workload,protocol")
+
+    def test_json_format(self, capsys):
+        import json
+
+        assert (
+            cli_main(["fig3", "--cores", "16", "--scale", "0.02", "--format", "json"])
+            == 0
+        )
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 18  # six kernels x three protocols
+
+    def test_out_directory(self, tmp_path):
+        assert (
+            cli_main(
+                ["fig3", "--cores", "16", "--scale", "0.02", "--out", str(tmp_path)]
+            )
+            == 0
+        )
+        assert (tmp_path / "fig3.txt").exists()
+
+
+class TestRunTarget:
+    def test_run_kernel(self, capsys):
+        assert (
+            cli_main(
+                [
+                    "run", "--workload", "tatas/counter",
+                    "--protocol", "DeNovoSync", "--cores", "16",
+                    "--scale", "0.02",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "cycles" in out
+        assert "dynamic energy" in out
+        assert "SYNCH" in out
+
+    def test_run_micro(self, capsys):
+        assert (
+            cli_main(
+                ["run", "--workload", "micro/pingpong", "--protocol", "MESI",
+                 "--cores", "4"]
+            )
+            == 0
+        )
+        assert "micro.pingpong" in capsys.readouterr().out
+
+    def test_run_app_uses_paper_cores(self, capsys):
+        assert (
+            cli_main(
+                ["run", "--workload", "app/ferret", "--protocol", "MESI",
+                 "--app-scale", "0.1"]
+            )
+            == 0
+        )
+        assert "16 cores" in capsys.readouterr().out
+
+    def test_run_writes_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.jsonl"
+        assert (
+            cli_main(
+                ["run", "--workload", "tatas/counter", "--protocol", "MESI",
+                 "--cores", "16", "--scale", "0.02", "--trace", str(trace_path)]
+            )
+            == 0
+        )
+        assert trace_path.exists()
+        from repro.trace.events import read_trace
+
+        assert len(read_trace(trace_path)) > 0
+
+    def test_run_requires_workload(self):
+        with pytest.raises(SystemExit):
+            cli_main(["run"])
+
+    def test_run_rejects_bad_spec(self):
+        with pytest.raises(SystemExit):
+            cli_main(["run", "--workload", "nonsense"])

@@ -1,0 +1,52 @@
+"""Determinism and reproducibility of whole simulations."""
+
+import pytest
+
+from repro.config import config_16
+from repro.harness.runner import run_workload
+from repro.workloads.apps import make_app
+from repro.workloads.base import KernelSpec
+from repro.workloads.registry import make_kernel
+
+
+def run_twice(make, protocol, seed):
+    a = run_workload(make(), protocol, config_16(), seed=seed)
+    b = run_workload(make(), protocol, config_16(), seed=seed)
+    return a, b
+
+
+@pytest.mark.parametrize("protocol", ["MESI", "DeNovoSync0", "DeNovoSync"])
+class TestKernelDeterminism:
+    def test_same_seed_same_result(self, protocol):
+        make = lambda: make_kernel("tatas", "counter", spec=KernelSpec(scale=0.05))
+        a, b = run_twice(make, protocol, seed=7)
+        assert a.cycles == b.cycles
+        assert a.total_traffic == b.total_traffic
+        assert a.traffic_breakdown() == b.traffic_breakdown()
+        assert a.counters.as_dict() == b.counters.as_dict()
+
+    def test_different_seeds_differ(self, protocol):
+        make = lambda: make_kernel("tatas", "counter", spec=KernelSpec(scale=0.05))
+        a = run_workload(make(), protocol, config_16(), seed=7)
+        b = run_workload(make(), protocol, config_16(), seed=8)
+        # Dummy-compute windows are random, so cycle counts should move.
+        assert a.cycles != b.cycles
+
+    def test_nonblocking_kernel_deterministic(self, protocol):
+        make = lambda: make_kernel(
+            "nonblocking", "M-S queue", spec=KernelSpec(scale=0.05)
+        )
+        a, b = run_twice(make, protocol, seed=9)
+        assert a.cycles == b.cycles
+        assert a.total_traffic == b.total_traffic
+
+
+class TestAppDeterminism:
+    def test_app_model_deterministic(self):
+        from repro.config import config_for_cores
+
+        config = config_for_cores(16)
+        a = run_workload(make_app("ferret", scale=0.1), "DeNovoSync", config, seed=4)
+        b = run_workload(make_app("ferret", scale=0.1), "DeNovoSync", config, seed=4)
+        assert a.cycles == b.cycles
+        assert a.total_traffic == b.total_traffic

@@ -1,0 +1,82 @@
+"""Structural-invariant audits on the final state of full workload runs.
+
+The exhaustive verifier covers tiny scopes; these tests run *real*
+kernels and applications to completion and then audit the protocol's
+entire cache/directory/registry state for consistency.
+"""
+
+import pytest
+
+from repro.config import config_16
+from repro.harness.runner import run_workload
+from repro.protocols import PROTOCOLS
+from repro.verify import check_protocol_state
+from repro.workloads.base import KernelSpec
+from repro.workloads.micro import FalseSharingMicro
+from repro.workloads.registry import make_kernel
+
+KERNELS = [
+    ("tatas", "counter"),
+    ("array", "single Q"),
+    ("mcs", "stack"),
+    ("nonblocking", "M-S queue"),
+    ("nonblocking", "Treiber stack"),
+    ("barrier", "central"),
+]
+
+
+@pytest.mark.parametrize("figure,name", KERNELS)
+@pytest.mark.parametrize("protocol", list(PROTOCOLS))
+class TestKernelFinalState:
+    def test_protocol_state_consistent_after_run(self, figure, name, protocol):
+        workload = make_kernel(figure, name, spec=KernelSpec(iterations=4, scale=1.0))
+        result = run_workload(
+            workload, protocol, config_16(), seed=11, keep_protocol=True
+        )
+        failures = check_protocol_state(result.meta["protocol"])
+        assert failures == []
+
+
+@pytest.mark.parametrize("protocol", list(PROTOCOLS))
+class TestAppAndMicroFinalState:
+    def test_app_model_state_consistent(self, protocol):
+        from repro.workloads.apps import make_app
+
+        result = run_workload(
+            make_app("bodytrack", scale=0.05),
+            protocol,
+            __import__("repro.config", fromlist=["config_for_cores"]).config_for_cores(16),
+            seed=11,
+            keep_protocol=True,
+        )
+        assert check_protocol_state(result.meta["protocol"]) == []
+
+    def test_false_sharing_micro_state_consistent(self, protocol):
+        result = run_workload(
+            FalseSharingMicro(rounds=8), protocol, config_16(), seed=11,
+            keep_protocol=True,
+        )
+        assert check_protocol_state(result.meta["protocol"]) == []
+
+
+class TestAuditCatchesCorruption:
+    def test_denovo_double_registration_detected(self):
+        from repro.mem.l1 import DeNovoState
+        from repro.protocols.denovosync0 import DeNovoSync0Protocol
+
+        protocol = DeNovoSync0Protocol(config_16())
+        protocol.store(0, 100, 1)
+        # Corrupt: a second L1 claims Registered without the registry.
+        protocol.l1s[1].fill_word(100, 1, DeNovoState.REGISTERED)
+        assert any("registered at both" in f for f in check_protocol_state(protocol))
+
+    def test_mesi_unknown_holder_detected(self):
+        from repro.mem.l1 import MesiState
+        from repro.protocols.mesi import MesiProtocol
+
+        protocol = MesiProtocol(config_16())
+        protocol.load(0, 100)
+        # Corrupt: a copy the directory never granted.
+        protocol.l1s[3].insert(protocol.amap.line_of(100), MesiState.SHARED)
+        failures = check_protocol_state(protocol)
+        assert any("holders" in f or "unknown" in f for f in failures)

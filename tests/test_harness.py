@@ -1,0 +1,163 @@
+"""Tests for the experiment harness, reporting, and CLI."""
+
+import io
+
+import pytest
+
+from repro.config import config_16
+from repro.harness.cli import main as cli_main
+from repro.harness.experiments import (
+    FigureRow,
+    run_apps_figure,
+    run_eqcheck_ablation,
+    run_kernel_figure,
+    run_sw_backoff_ablation,
+)
+from repro.harness.report import figure_summary, print_figure
+from repro.harness.runner import SimulationStuck, run_workload
+from repro.stats.collector import normalize_to
+from repro.workloads.base import KernelSpec, Workload, WorkloadInstance
+from repro.workloads.registry import make_kernel
+
+SCALE = 0.03
+
+
+@pytest.fixture(scope="module")
+def fig3_16():
+    return run_kernel_figure("tatas", core_counts=(16,), scale=SCALE, seed=1)
+
+
+class TestKernelFigure:
+    def test_row_per_kernel(self, fig3_16):
+        assert len(fig3_16.rows) == 6
+        assert {row.workload for row in fig3_16.rows} == {
+            "single Q", "double Q", "stack", "heap", "counter", "large CS",
+        }
+
+    def test_three_protocols_per_row(self, fig3_16):
+        for row in fig3_16.rows:
+            assert set(row.results) == {"MESI", "DeNovoSync0", "DeNovoSync"}
+
+    def test_relative_metrics(self, fig3_16):
+        row = fig3_16.rows[0]
+        assert row.rel_time("MESI") == 1.0
+        assert row.rel_traffic("MESI") == 1.0
+        assert row.rel_time("DeNovoSync") > 0
+
+    def test_denovo_saves_traffic_on_tatas(self, fig3_16):
+        """The paper's headline: large traffic savings on TATAS kernels."""
+        for row in fig3_16.rows:
+            assert row.rel_traffic("DeNovoSync") < 1.0
+
+
+class TestAppsFigure:
+    def test_rows_and_cores(self):
+        result = run_apps_figure(scale=0.05, seed=2, names=["FFT", "ferret"])
+        assert [row.workload for row in result.rows] == ["FFT", "ferret"]
+        assert result.rows[0].num_cores == 64
+        assert result.rows[1].num_cores == 16
+        for row in result.rows:
+            assert set(row.results) == {"MESI", "DeNovoSync"}
+
+
+class TestReport:
+    def test_print_figure_contains_rows(self, fig3_16):
+        buffer = io.StringIO()
+        print_figure(fig3_16, buffer)
+        text = buffer.getvalue()
+        assert "Figure 3" in text
+        for name in ("single Q", "large CS"):
+            assert name in text
+        for label in (" M ", "DS0", " DS "):
+            assert label.strip() in text
+
+    def test_summary_averages(self, fig3_16):
+        summary = figure_summary(fig3_16)
+        assert summary["MESI"]["avg_rel_time"] == pytest.approx(1.0)
+        assert 0 < summary["DeNovoSync"]["avg_rel_time"] < 2.0
+
+
+class TestAblations:
+    def test_sw_backoff_ablation_labels(self):
+        results = run_sw_backoff_ablation(cores=16, scale=SCALE)
+        assert set(results) == {"no backoff", "sw backoff"}
+
+    def test_eqcheck_ablation_runs_both_variants(self):
+        results = run_eqcheck_ablation(cores=16, scale=SCALE)
+        assert set(results) == {"original checks", "reduced checks"}
+        for result in results.values():
+            assert {row.workload for row in result.rows} == {
+                "Herlihy stack", "Herlihy heap",
+            }
+
+    def test_eqchecks_cost_denovo_more(self):
+        """Extra pointer re-reads are near-free under MESI but registration
+        misses under DeNovo (section 7.1.3)."""
+        results = run_eqcheck_ablation(cores=16, scale=0.05)
+
+        def denovo_time(result):
+            return sum(
+                row.results["DeNovoSync"].cycles for row in result.rows
+            )
+
+        assert denovo_time(results["reduced checks"]) < denovo_time(
+            results["original checks"]
+        )
+
+
+class TestRunner:
+    def test_deadlock_detection(self):
+        from repro.cpu.isa import WaitLoad
+        from repro.mem.address import AddressMap
+        from repro.mem.regions import RegionAllocator
+
+        class Deadlock(Workload):
+            name = "deadlock"
+
+            def build(self, config, *, seed=0):
+                allocator = RegionAllocator(AddressMap(config))
+                flag = allocator.alloc_sync("flag").base
+
+                def waiter():
+                    yield WaitLoad(flag, lambda v: v == 1, sync=True)
+
+                programs = [waiter()]
+                from repro.cpu.isa import Compute
+
+                def idle():
+                    yield Compute(1)
+
+                programs += [idle() for _ in range(config.num_cores - 1)]
+                return WorkloadInstance("deadlock", allocator, programs)
+
+        with pytest.raises(SimulationStuck):
+            run_workload(Deadlock(), "MESI", config_16())
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            run_workload(make_kernel("tatas", "counter"), "MOESI", config_16())
+
+
+class TestNormalize:
+    def test_normalize_to_baseline(self):
+        workload = make_kernel("tatas", "counter", spec=KernelSpec(scale=SCALE))
+        base = run_workload(workload, "MESI", config_16(), seed=1)
+        workload = make_kernel("tatas", "counter", spec=KernelSpec(scale=SCALE))
+        other = run_workload(workload, "DeNovoSync", config_16(), seed=1)
+        rows = normalize_to([base, other], base)
+        assert rows[0]["rel_time"] == pytest.approx(1.0)
+        assert rows[1]["rel_time"] == other.cycles / base.cycles
+
+
+class TestCli:
+    def test_cli_fig3_to_files(self, tmp_path, monkeypatch):
+        code = cli_main(
+            ["fig3", "--cores", "16", "--scale", "0.02", "--out", str(tmp_path)]
+        )
+        assert code == 0
+        text = (tmp_path / "fig3.txt").read_text()
+        assert "Figure 3" in text
+
+    def test_cli_rejects_unknown_target(self):
+        with pytest.raises(SystemExit):
+            cli_main(["fig99"])

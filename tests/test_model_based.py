@@ -1,0 +1,187 @@
+"""Model-based tests: the simulated data structures vs Python models.
+
+Hypothesis drives random operation sequences through the concurrent
+structures on a single simulated core (so a sequential Python model is
+the exact oracle) under every protocol; any divergence in results or
+structure contents is a bug in the structure implementation or the
+protocol's value handling.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import config_for_cores
+from repro.cpu.core import Core
+from repro.cpu.thread import ThreadCtx
+from repro.mem.address import AddressMap
+from repro.mem.regions import RegionAllocator
+from repro.protocols import make_protocol
+from repro.sim.engine import Simulator
+
+PROTOCOLS = ["MESI", "DeNovoSync0", "DeNovoSync", "DeNovoSyncSig", "MESI-RFO"]
+
+ops_strategy = st.lists(
+    st.tuples(st.sampled_from(["push", "pop"]), st.integers(1, 1000)),
+    max_size=24,
+)
+
+
+def run_single_core(protocol_name, program_factory):
+    """Run one program on core 0 of a 4-core system; return its results."""
+    config = config_for_cores(4)
+    allocator = RegionAllocator(AddressMap(config))
+    protocol = make_protocol(protocol_name, config, allocator)
+    sim = Simulator()
+    core = Core(0, sim, protocol)
+    ctx = ThreadCtx(
+        core_id=0, num_cores=4, config=config, allocator=allocator,
+        rng=random.Random(0),
+    )
+    results = []
+    initial = {}
+
+    program = program_factory(ctx, allocator, results, initial)
+    for addr, value in initial.items():
+        protocol.memory.write(addr, value)
+    core.start(program)
+    sim.run(max_events=2_000_000)
+    assert core.done
+    return results
+
+
+class TestQueueAgainstModel:
+    @settings(max_examples=20, deadline=None)
+    @given(ops=ops_strategy, protocol=st.sampled_from(PROTOCOLS))
+    def test_msqueue_matches_fifo_model(self, ops, protocol):
+        from collections import deque
+
+        from repro.synclib.msqueue import MichaelScottQueue
+
+        def factory(ctx, allocator, results, initial):
+            queue = MichaelScottQueue(
+                allocator, nodes_per_thread=len(ops) + 1, nthreads=4,
+                software_backoff=False,
+            )
+            initial.update(queue.initial_values())
+
+            def program():
+                for op, value in ops:
+                    if op == "push":
+                        yield from queue.enqueue(ctx, value)
+                        results.append(("push", value))
+                    else:
+                        got = yield from queue.dequeue(ctx)
+                        results.append(("pop", got))
+
+            return program()
+
+        results = run_single_core(protocol, factory)
+        model = deque()
+        for (op, observed), (wanted_op, value) in zip(results, ops):
+            if wanted_op == "push":
+                model.append(value)
+            else:
+                expected = model.popleft() if model else None
+                assert observed == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(ops=ops_strategy, protocol=st.sampled_from(PROTOCOLS))
+    def test_treiber_matches_lifo_model(self, ops, protocol):
+        from repro.synclib.treiber import TreiberStack
+
+        def factory(ctx, allocator, results, initial):
+            stack = TreiberStack(
+                allocator, nodes_per_thread=len(ops) + 1, nthreads=4,
+                software_backoff=False,
+            )
+
+            def program():
+                for op, value in ops:
+                    if op == "push":
+                        yield from stack.push(ctx, value)
+                        results.append(("push", value))
+                    else:
+                        got = yield from stack.pop(ctx)
+                        results.append(("pop", got))
+
+            return program()
+
+        results = run_single_core(protocol, factory)
+        model = []
+        for (op, observed), (wanted_op, value) in zip(results, ops):
+            if wanted_op == "push":
+                model.append(value)
+            else:
+                expected = model.pop() if model else None
+                assert observed == expected
+
+    @settings(max_examples=15, deadline=None)
+    @given(ops=ops_strategy, protocol=st.sampled_from(PROTOCOLS))
+    def test_herlihy_heap_matches_heapq_model(self, ops, protocol):
+        import heapq
+
+        from repro.synclib.herlihy import HerlihyHeap
+
+        def factory(ctx, allocator, results, initial):
+            heap = HerlihyHeap(
+                allocator, capacity=len(ops) + 1, blocks_per_thread=len(ops) + 1,
+                nthreads=4, software_backoff=False,
+            )
+            initial.update(heap.initial_values())
+
+            def program():
+                for op, value in ops:
+                    if op == "push":
+                        yield from heap.insert(ctx, value)
+                        results.append(("push", value))
+                    else:
+                        got = yield from heap.extract_min(ctx)
+                        results.append(("pop", got))
+
+            return program()
+
+        results = run_single_core(protocol, factory)
+        model = []
+        for (op, observed), (wanted_op, value) in zip(results, ops):
+            if wanted_op == "push":
+                heapq.heappush(model, value)
+            else:
+                expected = heapq.heappop(model) if model else None
+                assert observed == expected
+
+
+class TestLockedStructuresAgainstModel:
+    @settings(max_examples=15, deadline=None)
+    @given(ops=ops_strategy, protocol=st.sampled_from(PROTOCOLS))
+    def test_locked_heap_matches_heapq_model(self, ops, protocol):
+        import heapq
+
+        from repro.synclib.locked_structures import LockedHeap
+        from repro.synclib.tatas import TatasLock
+
+        def factory(ctx, allocator, results, initial):
+            lock = TatasLock(allocator)
+            heap = LockedHeap(allocator, lock, capacity=len(ops) + 1)
+
+            def program():
+                for op, value in ops:
+                    if op == "push":
+                        yield from heap.insert(ctx, value)
+                        results.append(("push", value))
+                    else:
+                        got = yield from heap.extract_min(ctx)
+                        results.append(("pop", got))
+
+            return program()
+
+        results = run_single_core(protocol, factory)
+        model = []
+        for (op, observed), (wanted_op, value) in zip(results, ops):
+            if wanted_op == "push":
+                heapq.heappush(model, value)
+            else:
+                expected = heapq.heappop(model) if model else None
+                assert observed == expected

@@ -1,0 +1,63 @@
+"""Tests for the ASCII figure renderer."""
+
+import io
+
+import pytest
+
+from repro.harness.experiments import run_kernel_figure
+from repro.harness.plots import _bar, render_figure, render_time_bars, render_traffic_bars
+
+
+@pytest.fixture(scope="module")
+def figure():
+    return run_kernel_figure("tatas", core_counts=(16,), scale=0.02, names=["counter"])
+
+
+class TestBar:
+    def test_width_respected(self):
+        bar = _bar([("a", 0.5), ("b", 0.5)], width=40)
+        assert len(bar) == 40
+        assert bar == "a" * 20 + "b" * 20
+
+    def test_rounding_carries(self):
+        bar = _bar([("a", 1 / 3), ("b", 1 / 3), ("c", 1 / 3)], width=10)
+        assert len(bar) == 10
+
+    def test_empty_fractions(self):
+        assert _bar([], width=10) == ""
+
+    def test_over_unity_total(self):
+        bar = _bar([("x", 1.5)], width=10)
+        assert bar == "x" * 15  # DeNovo-worse bars extend past MESI's width
+
+
+class TestRender:
+    def test_time_bars_mesi_full_width(self, figure):
+        out = io.StringIO()
+        render_time_bars(figure, out, width=40)
+        lines = [l for l in out.getvalue().splitlines() if "|" in l]
+        assert len(lines) == 3
+        mesi_bar = lines[0].split("|")[1]
+        assert len(mesi_bar) == pytest.approx(40, abs=1)
+
+    def test_traffic_bars_denovo_shorter(self, figure):
+        out = io.StringIO()
+        render_traffic_bars(figure, out, width=40)
+        lines = [l for l in out.getvalue().splitlines() if "|" in l]
+        mesi = len(lines[0].split("|")[1])
+        denovo = len(lines[2].split("|")[1])
+        assert denovo < mesi
+
+    def test_figure_header(self, figure):
+        out = io.StringIO()
+        render_figure(figure, out)
+        assert "Figure 3" in out.getvalue()
+        assert "execution time" in out.getvalue()
+        assert "network traffic" in out.getvalue()
+
+    def test_glyphs_match_components(self, figure):
+        out = io.StringIO()
+        render_time_bars(figure, out)
+        text = out.getvalue()
+        # MESI TATAS bars are dominated by memory stall 'M' segments.
+        assert "MMM" in text

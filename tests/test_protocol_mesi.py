@@ -1,0 +1,223 @@
+"""Unit tests for the MESI directory protocol."""
+
+import pytest
+
+from repro.config import config_16
+from repro.mem.l1 import MesiState
+from repro.noc.messages import MessageClass
+from repro.protocols.mesi import MesiProtocol
+
+
+@pytest.fixture
+def proto():
+    return MesiProtocol(config_16())
+
+
+ADDR = 100  # line 6, not at the requester's tile for most cores
+
+
+class TestLoads:
+    def test_cold_load_pays_memory_latency(self, proto):
+        access = proto.load(0, ADDR)
+        assert not access.hit
+        assert access.latency >= proto.config.memory_latency.min
+        assert proto.counters.get("cold_misses") == 1
+
+    def test_warm_load_from_llc(self, proto):
+        proto.load(0, ADDR)
+        proto.l1s[0].invalidate(proto.amap.line_of(ADDR))
+        access = proto.load(0, ADDR)
+        assert not access.hit
+        assert access.latency <= proto.config.l2_hit_latency.max
+
+    def test_second_load_hits(self, proto):
+        proto.load(0, ADDR)
+        access = proto.load(0, ADDR)
+        assert access.hit
+        assert access.latency == 1
+
+    def test_first_reader_gets_exclusive(self, proto):
+        proto.load(0, ADDR)
+        line = proto.amap.line_of(ADDR)
+        assert proto.l1s[0].state_of(line) is MesiState.EXCLUSIVE
+
+    def test_second_reader_shares_and_downgrades_owner(self, proto):
+        proto.load(0, ADDR)
+        proto.set_time(1000)
+        proto.load(1, ADDR)
+        line = proto.amap.line_of(ADDR)
+        assert proto.l1s[0].state_of(line) is MesiState.SHARED
+        assert proto.l1s[1].state_of(line) is MesiState.SHARED
+
+    def test_load_forwarded_by_modified_owner_writes_back(self, proto):
+        proto.store(0, ADDR, 7, sync=True)
+        before = proto.traffic.flit_crossings(MessageClass.WRITEBACK)
+        proto.set_time(1000)
+        access = proto.load(1, ADDR, ticketed=True)
+        assert access.value == 7
+        assert proto.traffic.flit_crossings(MessageClass.WRITEBACK) > before
+
+    def test_loads_see_latest_value(self, proto):
+        proto.store(0, ADDR, 41, sync=True)
+        proto.set_time(1000)
+        assert proto.load(1, ADDR, ticketed=True).value == 41
+
+
+class TestStores:
+    def test_data_store_is_non_blocking(self, proto):
+        access = proto.store(0, ADDR, 5)
+        assert access.latency == 1
+        assert proto.memory.read(ADDR) == 5
+
+    def test_sync_store_blocks_for_miss_latency(self, proto):
+        access = proto.store(0, ADDR, 5, sync=True)
+        assert access.latency > 1
+
+    def test_store_hit_in_modified(self, proto):
+        proto.store(0, ADDR, 5, sync=True)
+        access = proto.store(0, ADDR, 6, sync=True)
+        assert access.hit
+        assert access.latency == 1
+
+    def test_silent_upgrade_from_exclusive(self, proto):
+        proto.load(0, ADDR)  # E grant
+        before = proto.traffic.flit_crossings()
+        access = proto.store(0, ADDR, 5, sync=True)
+        assert access.hit
+        assert proto.traffic.flit_crossings() == before
+
+    def test_store_invalidates_sharers(self, proto):
+        proto.load(0, ADDR)
+        proto.set_time(500)
+        proto.load(1, ADDR, ticketed=True)
+        proto.set_time(1000)
+        proto.load(2, ADDR, ticketed=True)
+        proto.set_time(2000)
+        proto.store(1, ADDR, 9, sync=True, ticketed=True)
+        line = proto.amap.line_of(ADDR)
+        assert proto.l1s[0].state_of(line) is None
+        assert proto.l1s[2].state_of(line) is None
+        assert proto.l1s[1].state_of(line) is MesiState.MODIFIED
+        assert proto.counters.get("invalidations_sent") >= 2
+
+    def test_invalidation_traffic_counted(self, proto):
+        proto.load(0, ADDR)
+        proto.set_time(500)
+        proto.load(1, ADDR, ticketed=True)
+        proto.set_time(1000)
+        assert proto.traffic.flit_crossings(MessageClass.INVALIDATION) == 0
+        proto.store(0, ADDR, 9, sync=True, ticketed=True)
+        assert proto.traffic.flit_crossings(MessageClass.INVALIDATION) > 0
+
+    def test_upgrade_latency_covers_invalidation(self, proto):
+        proto.load(0, ADDR)
+        proto.set_time(500)
+        proto.load(1, ADDR, ticketed=True)
+        proto.set_time(1000)
+        bank = proto.amap.home_bank_of_addr(ADDR)
+        access = proto.store(0, ADDR, 9, sync=True, ticketed=True)
+        inv_rtt = proto.mesh.invalidation_round_trip(bank, 1)
+        assert access.latency >= inv_rtt
+
+
+class TestRmw:
+    def test_rmw_returns_old_applies_new(self, proto):
+        proto.store(0, ADDR, 10)
+        proto.set_time(100)
+        access = proto.rmw(0, ADDR, lambda old: old + 1)
+        assert access.value == 10
+        assert proto.memory.read(ADDR) == 11
+
+    def test_failed_cas_leaves_memory(self, proto):
+        proto.store(0, ADDR, 10)
+        proto.set_time(100)
+        access = proto.rmw(0, ADDR, lambda old: None)
+        assert access.value == 10
+        assert proto.memory.read(ADDR) == 10
+
+    def test_rmw_takes_ownership(self, proto):
+        proto.rmw(0, ADDR, lambda old: 1)
+        line = proto.amap.line_of(ADDR)
+        assert proto.l1s[0].state_of(line) is MesiState.MODIFIED
+
+
+class TestBlockingDirectory:
+    def test_busy_entry_returns_retry(self, proto):
+        proto.load(0, ADDR)  # cold fetch leaves the entry busy briefly
+        access = proto.load(1, ADDR)
+        assert access.retry
+        assert access.latency > 0
+        assert proto.counters.get("directory_retries") == 1
+
+    def test_ticketed_request_serviced_despite_busy(self, proto):
+        proto.load(0, ADDR)
+        access = proto.load(1, ADDR, ticketed=True)
+        assert not access.retry
+
+    def test_retry_extends_reservation(self, proto):
+        proto.load(0, ADDR)
+        line = proto.amap.line_of(ADDR)
+        before = proto._directory[line].busy_until
+        proto.load(1, ADDR)
+        assert proto._directory[line].busy_until > before
+
+    def test_hits_never_retry(self, proto):
+        proto.load(0, ADDR)
+        access = proto.load(0, ADDR)  # own hit, directory not consulted
+        assert not access.retry
+
+
+class TestSubscriptions:
+    def test_subscribe_requires_cached_copy(self, proto):
+        assert proto.subscribe_line_change(0, ADDR, lambda t: None) is False
+        proto.load(0, ADDR)
+        assert proto.subscribe_line_change(0, ADDR, lambda t: None) is True
+
+    def test_waiter_woken_by_invalidation(self, proto):
+        proto.load(0, ADDR)
+        proto.set_time(500)
+        proto.load(1, ADDR, ticketed=True)
+        wakes = []
+        proto.subscribe_line_change(0, ADDR, wakes.append)
+        proto.set_time(1000)
+        proto.store(1, ADDR, 1, sync=True, ticketed=True)
+        assert len(wakes) == 1
+        assert wakes[0] >= 1000
+
+    def test_other_cores_waiters_not_woken(self, proto):
+        proto.load(0, ADDR)
+        proto.set_time(500)
+        proto.load(1, ADDR, ticketed=True)
+        proto.set_time(600)
+        proto.load(2, ADDR, ticketed=True)
+        wakes0, wakes2 = [], []
+        proto.subscribe_line_change(0, ADDR, wakes0.append)
+        proto.subscribe_line_change(2, ADDR, wakes2.append)
+        proto.set_time(1000)
+        # Core 2 upgrades: invalidates 0 but keeps its own copy.
+        proto.store(2, ADDR, 1, sync=True, ticketed=True)
+        assert len(wakes0) == 1
+        assert wakes2 == []
+
+
+class TestSelfInvalidate:
+    def test_noop_for_mesi(self, proto):
+        from repro.mem.regions import Region
+
+        latency = proto.self_invalidate(0, [Region("r", 0)])
+        assert latency == 1
+
+
+class TestEviction:
+    def test_modified_eviction_writes_back_and_clears_owner(self, proto):
+        config = proto.config
+        num_sets = config.l1_sets
+        words_per_line = config.words_per_line
+        lines = [i * num_sets + 1 for i in range(config.l1_assoc + 1)]
+        for i, line in enumerate(lines):
+            proto.set_time(i * 1000)
+            proto.store(0, line * words_per_line, i, sync=True, ticketed=True)
+        victim_line = lines[0]
+        assert proto.l1s[0].state_of(victim_line, touch=False) is None
+        assert proto._directory[victim_line].exclusive_owner is None
+        assert proto.counters.get("writebacks") >= 1

@@ -1,0 +1,100 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(30, lambda: fired.append(30))
+        sim.schedule_at(10, lambda: fired.append(10))
+        sim.schedule_at(20, lambda: fired.append(20))
+        sim.run()
+        assert fired == [10, 20, 30]
+
+    def test_same_cycle_events_fire_in_schedule_order(self):
+        sim = Simulator()
+        fired = []
+        for tag in range(5):
+            sim.schedule_at(7, lambda t=tag: fired.append(t))
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_schedule_after_is_relative(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_at(5, lambda: sim.schedule_after(10, lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [15]
+
+    def test_now_tracks_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(42, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [42]
+        assert sim.now == 42
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.schedule_at(10, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule_after(-1, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule_at(10, lambda: fired.append("no"))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        event = sim.schedule_at(10, lambda: None)
+        sim.schedule_at(20, lambda: None)
+        assert sim.pending_events == 2
+        event.cancel()
+        assert sim.pending_events == 1
+
+
+class TestRunLimits:
+    def test_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(10, lambda: fired.append(10))
+        sim.schedule_at(100, lambda: fired.append(100))
+        sim.run(until=50)
+        assert fired == [10]
+        sim.run()
+        assert fired == [10, 100]
+
+    def test_max_events_raises(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule_after(1, reschedule)
+
+        sim.schedule_at(0, reschedule)
+        with pytest.raises(RuntimeError, match="max_events"):
+            sim.run(max_events=100)
+
+    def test_run_returns_event_count(self):
+        sim = Simulator()
+        for t in range(5):
+            sim.schedule_at(t, lambda: None)
+        assert sim.run() == 5
+
+    def test_step_on_empty_queue(self):
+        assert Simulator().step() is False

@@ -1,0 +1,96 @@
+"""Correctness tests for the barrier algorithms.
+
+Barrier semantics are checked by having every thread publish a per-phase
+value before the barrier and read all other threads' values after it: if
+any thread could pass the barrier early (or read stale data after it),
+the check fails.
+"""
+
+import pytest
+
+from repro.cpu.isa import Compute, Load, SelfInvalidate, Store
+from repro.synclib.barriers import CentralBarrier, TreeBarrier
+
+
+def make_barrier(kind, allocator, nthreads):
+    if kind == "central":
+        return CentralBarrier(allocator, nthreads)
+    if kind == "tree":
+        return TreeBarrier(allocator, nthreads, fan_in=2, fan_out=2)
+    if kind == "n-ary":
+        return TreeBarrier(allocator, nthreads, fan_in=4, fan_out=2)
+    raise ValueError(kind)
+
+
+BARRIER_KINDS = ["central", "tree", "n-ary"]
+
+
+@pytest.mark.parametrize("kind", BARRIER_KINDS)
+@pytest.mark.parametrize("num_cores", [4, 16])
+class TestBarrierSemantics:
+    def test_phases_synchronize_all_threads(
+        self, protocol_name, machine_factory, kind, num_cores
+    ):
+        machine = machine_factory(protocol_name, num_cores)
+        barrier = make_barrier(kind, machine.allocator, num_cores)
+        region = machine.allocator.region("bar.data")
+        slots = machine.allocator.alloc("bar.data", num_cores).base
+        phases = 3
+        failures = []
+
+        def program(ctx):
+            for phase in range(1, phases + 1):
+                yield Compute(ctx.rng.randrange(10, 4000))
+                yield Store(slots + ctx.core_id, phase)
+                yield from barrier.wait(ctx, episode=phase)
+                yield SelfInvalidate((region,))
+                for other in range(ctx.num_cores):
+                    value = yield Load(slots + other)
+                    if value < phase:
+                        failures.append((ctx.core_id, phase, other, value))
+
+        machine.run([program(machine.ctx(i)) for i in range(num_cores)])
+        assert failures == []
+
+
+@pytest.mark.parametrize("kind", BARRIER_KINDS)
+class TestBarrierReuse:
+    def test_many_episodes_back_to_back(self, protocol_name, machine_factory, kind):
+        machine = machine_factory(protocol_name, 4)
+        barrier = make_barrier(kind, machine.allocator, 4)
+        counts = [0] * 4
+
+        def program(ctx):
+            for episode in range(1, 11):
+                yield from barrier.wait(ctx, episode=episode)
+                counts[ctx.core_id] += 1
+
+        machine.run([program(machine.ctx(i)) for i in range(4)])
+        assert counts == [10] * 4
+
+
+class TestBarrierConstruction:
+    def test_central_rejects_zero_threads(self, machine_factory):
+        machine = machine_factory("MESI", 4)
+        with pytest.raises(ValueError):
+            CentralBarrier(machine.allocator, 0)
+
+    def test_tree_rejects_fan_in_one(self, machine_factory):
+        machine = machine_factory("MESI", 4)
+        with pytest.raises(ValueError):
+            TreeBarrier(machine.allocator, 4, fan_in=1)
+
+    def test_tree_children(self, machine_factory):
+        machine = machine_factory("MESI", 16)
+        barrier = TreeBarrier(machine.allocator, 16, fan_in=4, fan_out=2)
+        assert barrier._children(0, 4) == [1, 2, 3, 4]
+        assert barrier._children(0, 2) == [1, 2]
+        assert barrier._children(7, 2) == [15]
+        assert barrier._children(8, 2) == []
+
+    def test_flags_line_padded(self, machine_factory):
+        machine = machine_factory("MESI", 4)
+        barrier = TreeBarrier(machine.allocator, 4)
+        amap = machine.allocator.amap
+        lines = [amap.line_of(a) for a in barrier.arrive + barrier.depart]
+        assert len(set(lines)) == len(lines)

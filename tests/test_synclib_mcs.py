@@ -1,0 +1,77 @@
+"""Correctness tests for the MCS queue lock."""
+
+import pytest
+
+from repro.cpu.isa import Compute, Load, SelfInvalidate, Store
+from repro.synclib.mcslock import McsLock
+
+
+def locked_increment(lock, region, counter, ctx, iterations):
+    for _ in range(iterations):
+        token = yield from lock.acquire(ctx)
+        yield SelfInvalidate((region,))
+        value = yield Load(counter)
+        yield Compute(ctx.rng.randrange(1, 20))
+        yield Store(counter, value + 1)
+        yield from lock.release(token)
+        yield Compute(ctx.rng.randrange(50, 300))
+
+
+@pytest.mark.parametrize("num_cores", [4, 16])
+class TestMcsMutualExclusion:
+    def test_no_lost_increments(self, protocol_name, machine_factory, num_cores):
+        machine = machine_factory(protocol_name, num_cores)
+        lock = McsLock(machine.allocator, num_cores)
+        region = machine.allocator.region("c.data")
+        counter = machine.allocator.alloc("c.data").base
+        iterations = 10
+        programs = [
+            locked_increment(lock, region, counter, machine.ctx(i), iterations)
+            for i in range(num_cores)
+        ]
+        machine.run(programs)
+        assert machine.protocol.memory.read(counter) == num_cores * iterations
+
+
+class TestMcsOrdering:
+    def test_fifo_handoff(self, protocol_name, machine_factory):
+        machine = machine_factory(protocol_name, 4)
+        lock = McsLock(machine.allocator, 4)
+        order = []
+
+        def program(ctx, delay):
+            yield Compute(delay)
+            token = yield from lock.acquire(ctx)
+            order.append(ctx.core_id)
+            yield Compute(2000)  # hold long enough that all others queue
+            yield from lock.release(token)
+
+        machine.run([program(machine.ctx(i), 1 + i * 500) for i in range(4)])
+        assert order == [0, 1, 2, 3]
+
+    def test_uncontended_fast_path(self, protocol_name, machine_factory):
+        machine = machine_factory(protocol_name, 4)
+        lock = McsLock(machine.allocator, 4)
+        done = []
+
+        def program(ctx):
+            for _ in range(3):
+                token = yield from lock.acquire(ctx)
+                yield from lock.release(token)
+            done.append(True)
+
+        machine.run([program(machine.ctx(0))])
+        assert done == [True]
+        assert machine.protocol.memory.read(lock.tail) == 0
+
+    def test_nodes_line_padded(self, machine_factory):
+        machine = machine_factory("MESI", 4)
+        lock = McsLock(machine.allocator, 4)
+        amap = machine.allocator.amap
+        lines = {amap.line_of(node) for node in lock.nodes}
+        assert len(lines) == 4
+
+    def test_rejects_zero_threads(self, machine_factory):
+        machine = machine_factory("MESI", 4)
+        with pytest.raises(ValueError):
+            McsLock(machine.allocator, 0)

@@ -1,0 +1,243 @@
+"""Correctness tests for the non-blocking data structures.
+
+Linearizability-level checks done the concrete way: all values pushed by
+all threads are popped exactly once; FIFO/LIFO order holds per producer;
+the heap always returns current minima; FAI tickets are unique.
+"""
+
+import pytest
+
+from repro.cpu.isa import Compute
+from repro.synclib.counters import FaiCounter
+from repro.synclib.herlihy import HerlihyHeap, HerlihyStack
+from repro.synclib.msqueue import MichaelScottQueue
+from repro.synclib.pljqueue import PLJQueue
+from repro.synclib.treiber import TreiberStack
+
+NUM_CORES = 9  # core counts must be perfect squares (2D mesh)
+OPS = 6
+
+
+def value_of(core_id, i):
+    """Globally unique, per-thread-increasing values (and positive)."""
+    return core_id * 1000 + i + 1
+
+
+class TestMichaelScottQueue:
+    def test_all_values_transit_exactly_once(self, protocol_name, machine_factory):
+        machine = machine_factory(protocol_name, NUM_CORES)
+        queue = MichaelScottQueue(machine.allocator, OPS, NUM_CORES)
+        machine.initial_values = queue.initial_values()
+        popped = []
+
+        def program(ctx):
+            for i in range(OPS):
+                yield Compute(ctx.rng.randrange(10, 500))
+                yield from queue.enqueue(ctx, value_of(ctx.core_id, i))
+                value = yield from queue.dequeue(ctx)
+                if value is not None:
+                    popped.append(value)
+
+        machine.run([program(machine.ctx(i)) for i in range(NUM_CORES)])
+        expected = {value_of(c, i) for c in range(NUM_CORES) for i in range(OPS)}
+        assert sorted(popped) == sorted(expected)
+
+    def test_fifo_per_producer(self, protocol_name, machine_factory):
+        machine = machine_factory(protocol_name, 4)
+        queue = MichaelScottQueue(machine.allocator, OPS, 4)
+        machine.initial_values = queue.initial_values()
+        popped = []
+
+        def producer(ctx):
+            for i in range(OPS):
+                yield from queue.enqueue(ctx, value_of(ctx.core_id, i))
+                yield Compute(ctx.rng.randrange(10, 200))
+
+        def consumer(ctx):
+            got = 0
+            while got < 2 * OPS:
+                value = yield from queue.dequeue(ctx)
+                if value is None:
+                    yield Compute(200)
+                else:
+                    popped.append(value)
+                    got += 1
+
+        machine.run(
+            [producer(machine.ctx(0)), producer(machine.ctx(1)), consumer(machine.ctx(2))]
+        )
+        for core in (0, 1):
+            mine = [v for v in popped if v // 1000 == core]
+            assert mine == sorted(mine)
+
+    def test_dequeue_empty_returns_none(self, protocol_name, machine_factory):
+        machine = machine_factory(protocol_name, 4)
+        queue = MichaelScottQueue(machine.allocator, 2, 4)
+        machine.initial_values = queue.initial_values()
+        results = []
+
+        def program(ctx):
+            results.append((yield from queue.dequeue(ctx)))
+
+        machine.run([program(machine.ctx(0))])
+        assert results == [None]
+
+
+class TestPLJQueue:
+    def test_all_values_transit_exactly_once(self, protocol_name, machine_factory):
+        machine = machine_factory(protocol_name, NUM_CORES)
+        queue = PLJQueue(machine.allocator, total_ops=NUM_CORES * OPS)
+        popped = []
+
+        def program(ctx):
+            for i in range(OPS):
+                yield Compute(ctx.rng.randrange(10, 500))
+                yield from queue.enqueue(ctx, value_of(ctx.core_id, i))
+                value = yield from queue.dequeue(ctx)
+                if value is not None:
+                    popped.append(value)
+
+        machine.run([program(machine.ctx(i)) for i in range(NUM_CORES)])
+        expected = {value_of(c, i) for c in range(NUM_CORES) for i in range(OPS)}
+        assert sorted(popped) == sorted(expected)
+
+    def test_rejects_non_positive_values(self, machine_factory):
+        machine = machine_factory("MESI", 4)
+        queue = PLJQueue(machine.allocator, total_ops=4)
+
+        def program(ctx):
+            yield from queue.enqueue(ctx, 0)
+
+        with pytest.raises(ValueError):
+            machine.run([program(machine.ctx(0))])
+
+
+class TestTreiberStack:
+    def test_all_values_pop_exactly_once(self, protocol_name, machine_factory):
+        machine = machine_factory(protocol_name, NUM_CORES)
+        stack = TreiberStack(machine.allocator, OPS, NUM_CORES)
+        popped = []
+
+        def program(ctx):
+            for i in range(OPS):
+                yield Compute(ctx.rng.randrange(10, 500))
+                yield from stack.push(ctx, value_of(ctx.core_id, i))
+                value = yield from stack.pop(ctx)
+                if value is not None:
+                    popped.append(value)
+
+        machine.run([program(machine.ctx(i)) for i in range(NUM_CORES)])
+        expected = {value_of(c, i) for c in range(NUM_CORES) for i in range(OPS)}
+        assert sorted(popped) == sorted(expected)
+
+    def test_pop_empty_returns_none(self, protocol_name, machine_factory):
+        machine = machine_factory(protocol_name, 4)
+        stack = TreiberStack(machine.allocator, 2, 4)
+        results = []
+
+        def program(ctx):
+            results.append((yield from stack.pop(ctx)))
+
+        machine.run([program(machine.ctx(0))])
+        assert results == [None]
+
+    def test_single_thread_lifo(self, protocol_name, machine_factory):
+        machine = machine_factory(protocol_name, 4)
+        stack = TreiberStack(machine.allocator, 4, 4)
+        popped = []
+
+        def program(ctx):
+            for i in range(3):
+                yield from stack.push(ctx, i + 1)
+            for _ in range(3):
+                popped.append((yield from stack.pop(ctx)))
+
+        machine.run([program(machine.ctx(0))])
+        assert popped == [3, 2, 1]
+
+
+@pytest.mark.parametrize("reduced_checks", [False, True])
+class TestHerlihyStack:
+    def test_all_values_pop_exactly_once(
+        self, protocol_name, machine_factory, reduced_checks
+    ):
+        machine = machine_factory(protocol_name, 4)
+        stack = HerlihyStack(
+            machine.allocator,
+            capacity=32,
+            blocks_per_thread=2 * OPS + 1,
+            nthreads=4,
+            reduced_checks=reduced_checks,
+        )
+        machine.initial_values = stack.initial_values()
+        popped = []
+
+        def program(ctx):
+            for i in range(OPS):
+                yield Compute(ctx.rng.randrange(10, 500))
+                yield from stack.push(ctx, value_of(ctx.core_id, i))
+                value = yield from stack.pop(ctx)
+                if value is not None:
+                    popped.append(value)
+
+        machine.run([program(machine.ctx(i)) for i in range(4)])
+        expected = {value_of(c, i) for c in range(4) for i in range(OPS)}
+        assert sorted(popped) == sorted(expected)
+
+
+class TestHerlihyHeap:
+    def test_extracts_are_minima(self, protocol_name, machine_factory):
+        machine = machine_factory(protocol_name, 4)
+        heap = HerlihyHeap(
+            machine.allocator,
+            capacity=32,
+            blocks_per_thread=2 * OPS + 1,
+            nthreads=4,
+        )
+        machine.initial_values = heap.initial_values()
+        extracted = []
+
+        def program(ctx):
+            for i in range(OPS):
+                yield Compute(ctx.rng.randrange(10, 500))
+                yield from heap.insert(ctx, value_of(ctx.core_id, i))
+                value = yield from heap.extract_min(ctx)
+                if value is not None:
+                    extracted.append(value)
+
+        machine.run([program(machine.ctx(i)) for i in range(4)])
+        expected = {value_of(c, i) for c in range(4) for i in range(OPS)}
+        assert sorted(extracted) == sorted(expected)
+
+    def test_single_thread_heap_order(self, protocol_name, machine_factory):
+        machine = machine_factory(protocol_name, 4)
+        heap = HerlihyHeap(
+            machine.allocator, capacity=16, blocks_per_thread=20, nthreads=4
+        )
+        machine.initial_values = heap.initial_values()
+        out = []
+
+        def program(ctx):
+            for value in (5, 3, 9, 1):
+                yield from heap.insert(ctx, value)
+            for _ in range(4):
+                out.append((yield from heap.extract_min(ctx)))
+
+        machine.run([program(machine.ctx(0))])
+        assert out == [1, 3, 5, 9]
+
+
+class TestFaiCounter:
+    def test_tickets_unique_and_dense(self, protocol_name, machine_factory):
+        machine = machine_factory(protocol_name, NUM_CORES)
+        counter = FaiCounter(machine.allocator)
+        tickets = []
+
+        def program(ctx):
+            for _ in range(OPS):
+                yield Compute(ctx.rng.randrange(1, 100))
+                ticket = yield from counter.increment(ctx)
+                tickets.append(ticket)
+
+        machine.run([program(machine.ctx(i)) for i in range(NUM_CORES)])
+        assert sorted(tickets) == list(range(NUM_CORES * OPS))

@@ -1,0 +1,141 @@
+"""Tests for the trace subsystem: record, persist, analyze, replay."""
+
+import pytest
+
+from repro.config import config_16, config_for_cores
+from repro.harness.runner import run_workload
+from repro.trace.analysis import interleaving_histogram, summarize
+from repro.trace.events import AccessRecord, read_trace, write_trace
+from repro.trace.replay import TraceReplayWorkload
+from repro.workloads.base import KernelSpec
+from repro.workloads.registry import make_kernel
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    workload = make_kernel("tatas", "counter", spec=KernelSpec(iterations=4, scale=1.0))
+    return run_workload(workload, "MESI", config_16(), seed=1, trace=True)
+
+
+class TestRecorder:
+    def test_trace_attached_to_result(self, traced_run):
+        trace = traced_run.meta["trace"]
+        assert len(trace) > 0
+        assert all(isinstance(r, AccessRecord) for r in trace)
+
+    def test_cycles_nondecreasing_per_core(self, traced_run):
+        last = {}
+        for record in traced_run.meta["trace"]:
+            assert record.cycle >= last.get(record.core, 0)
+            last[record.core] = record.cycle
+
+    def test_kinds_present(self, traced_run):
+        kinds = {r.kind for r in traced_run.meta["trace"]}
+        assert {"load", "store", "rmw", "selfinv"} <= kinds
+
+    def test_rmw_records_post_value(self):
+        """FAI increments must record the incremented value for replay."""
+        workload = make_kernel(
+            "nonblocking", "FAI counter", spec=KernelSpec(iterations=2, scale=1.0)
+        )
+        result = run_workload(workload, "DeNovoSync", config_16(), seed=1, trace=True)
+        rmws = [r for r in result.meta["trace"] if r.kind == "rmw"]
+        assert sorted(r.value for r in rmws) == list(range(1, len(rmws) + 1))
+
+    def test_tracing_does_not_change_timing(self):
+        make = lambda: make_kernel("tatas", "counter", spec=KernelSpec(scale=0.05))
+        plain = run_workload(make(), "DeNovoSync", config_16(), seed=2)
+        traced = run_workload(make(), "DeNovoSync", config_16(), seed=2, trace=True)
+        assert plain.cycles == traced.cycles
+        assert plain.total_traffic == traced.total_traffic
+
+
+class TestPersistence:
+    def test_roundtrip(self, traced_run, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        trace = traced_run.meta["trace"]
+        count = write_trace(trace, path)
+        assert count == len(trace)
+        back = read_trace(path)
+        assert back == trace
+
+    def test_record_json_roundtrip(self):
+        record = AccessRecord(
+            cycle=5, core=2, kind="store", addr=100, sync=True, release=True,
+            value=9, latency=30, hit=False,
+        )
+        assert AccessRecord.from_json(record.to_json()) == record
+
+
+class TestAnalysis:
+    def test_summary_counts(self, traced_run):
+        summary = summarize(traced_run.meta["trace"])
+        assert summary.accesses == summary.hits + summary.misses
+        assert summary.by_kind["rmw"] > 0
+        assert 0.0 <= summary.hit_rate <= 1.0
+        assert summary.avg_miss_latency >= summary.avg_latency * 0.5
+
+    def test_hot_word_is_the_lock(self, traced_run):
+        summary = summarize(traced_run.meta["trace"])
+        hot_addr, _ = summary.hot_words[0]
+        histogram = interleaving_histogram(traced_run.meta["trace"], hot_addr)
+        # Every core hammered the hottest word (the lock).
+        assert len(histogram) == 16
+
+    def test_sharing_degree(self, traced_run):
+        summary = summarize(traced_run.meta["trace"])
+        assert summary.max_sharing_degree == 16
+        assert summary.read_shared_words >= 1
+
+    def test_empty_trace(self):
+        summary = summarize([])
+        assert summary.accesses == 0
+        assert summary.hit_rate == 0.0
+        assert summary.hot_words == []
+
+
+class TestReplay:
+    def test_replay_runs_under_other_protocol(self, traced_run):
+        replay = TraceReplayWorkload(traced_run.meta["trace"])
+        result = run_workload(replay, "DeNovoSync", config_16(), seed=0)
+        assert result.cycles > 0
+        assert result.meta["replayed_records"] > 0
+
+    def test_replay_preserves_reference_stream(self, traced_run):
+        original = [
+            (r.core, r.kind, r.addr)
+            for r in traced_run.meta["trace"]
+            if r.kind in ("load", "store", "rmw")
+        ]
+        replay = TraceReplayWorkload(traced_run.meta["trace"])
+        result = run_workload(replay, "MESI", config_16(), seed=0, trace=True)
+        replayed = [
+            (r.core, r.kind, r.addr)
+            for r in result.meta["trace"]
+            if r.kind in ("load", "store", "rmw")
+        ]
+        # Same per-core streams (rmw replays as a store-flavoured rmw).
+        def per_core(stream):
+            out = {}
+            for core, kind, addr in stream:
+                out.setdefault(core, []).append((kind.replace("rmw", "rmw"), addr))
+            return out
+
+        orig_map, replay_map = per_core(original), per_core(replayed)
+        assert set(orig_map) == set(replay_map)
+        for core in orig_map:
+            assert [a for _, a in orig_map[core]] == [a for _, a in replay_map[core]]
+
+    def test_replay_rejects_too_small_config(self, traced_run):
+        replay = TraceReplayWorkload(traced_run.meta["trace"])
+        with pytest.raises(ValueError, match="core"):
+            run_workload(replay, "MESI", config_for_cores(4), seed=0)
+
+    def test_gap_compression(self):
+        records = [
+            AccessRecord(cycle=0, core=0, kind="load", addr=50),
+            AccessRecord(cycle=10**9, core=0, kind="load", addr=51),
+        ]
+        replay = TraceReplayWorkload(records, compress_gaps=500)
+        result = run_workload(replay, "MESI", config_for_cores(4), seed=0)
+        assert result.cycles < 10_000

