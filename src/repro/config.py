@@ -48,8 +48,27 @@ class BackoffConfig:
     default_increment: int
     update_period: int
 
+    def __post_init__(self) -> None:
+        # The hardware wrap in repro.protocols.backoff masks the counter
+        # with ``counter_max``, which is only a correct bit mask when it is
+        # of the form 2^k - 1 with k >= 1; that requires a positive whole
+        # number of counter bits.
+        if not isinstance(self.counter_bits, int) or self.counter_bits < 1:
+            raise ValueError(
+                f"counter_bits must be a positive integer, got {self.counter_bits!r}"
+            )
+        if self.update_period < 1:
+            raise ValueError(
+                f"update_period must be >= 1, got {self.update_period!r}"
+            )
+        if self.default_increment < 0:
+            raise ValueError(
+                f"default_increment must be non-negative, got {self.default_increment!r}"
+            )
+
     @property
     def counter_max(self) -> int:
+        """All-ones mask of the counter's bit width (2^k - 1 by construction)."""
         return (1 << self.counter_bits) - 1
 
 

@@ -1,5 +1,6 @@
 """Experiment harness: runners, figure definitions, reporting."""
 
+from repro.harness.parallel import ResultCache, RunSpec, run_specs
 from repro.harness.runner import run_workload
 
-__all__ = ["run_workload"]
+__all__ = ["ResultCache", "RunSpec", "run_specs", "run_workload"]

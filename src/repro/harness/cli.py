@@ -27,6 +27,7 @@ from repro.harness.experiments import (
     run_sw_backoff_ablation,
 )
 from repro.harness.export import write_figure_csv, write_figure_json
+from repro.harness.parallel import default_cache
 from repro.harness.plots import render_figure
 from repro.harness.report import print_figure
 
@@ -57,8 +58,15 @@ def _emit(result, out, args) -> None:
         print_figure(result, out)
 
 
+def _sweep_options(args) -> dict:
+    """Parallelism/caching options shared by every figure sweep."""
+    cache = None if args.no_cache else default_cache(args.cache_dir)
+    return {"jobs": args.jobs, "cache": cache}
+
+
 def _run_one(target: str, args) -> None:
     out = _open_out(args.out, target)
+    sweep = _sweep_options(args)
     try:
         if target in FIGURE_FAMILIES:
             result = run_kernel_figure(
@@ -66,25 +74,30 @@ def _run_one(target: str, args) -> None:
                 core_counts=tuple(args.cores),
                 scale=args.scale,
                 seed=args.seed,
+                **sweep,
             )
             _emit(result, out, args)
         elif target == "fig7":
-            result = run_apps_figure(scale=args.app_scale, seed=args.seed)
+            result = run_apps_figure(scale=args.app_scale, seed=args.seed, **sweep)
             _emit(result, out, args)
         elif target == "ablation-padding":
-            for label, result in run_padding_ablation(scale=args.scale).items():
+            for label, result in run_padding_ablation(scale=args.scale, **sweep).items():
                 print(f"-- {label} --", file=out)
                 _emit(result, out, args)
         elif target == "ablation-swbackoff":
-            for label, result in run_sw_backoff_ablation(scale=args.scale).items():
+            for label, result in run_sw_backoff_ablation(
+                scale=args.scale, **sweep
+            ).items():
                 print(f"-- {label} --", file=out)
                 _emit(result, out, args)
         elif target == "ablation-eqchecks":
-            for label, result in run_eqcheck_ablation(scale=args.scale).items():
+            for label, result in run_eqcheck_ablation(scale=args.scale, **sweep).items():
                 print(f"-- {label} --", file=out)
                 _emit(result, out, args)
         elif target == "ablation-selfinv":
-            for label, result in run_selfinv_ablation(scale=args.app_scale).items():
+            for label, result in run_selfinv_ablation(
+                scale=args.app_scale, **sweep
+            ).items():
                 print(f"-- {label} --", file=out)
                 _emit(result, out, args)
         else:
@@ -206,6 +219,22 @@ def main(argv: list[str] | None = None) -> int:
         help="input scale for the Figure 7 application models (default 0.5)",
     )
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for figure sweeps: 1 = serial (default), "
+        "N = fan cells out to N processes, 0 = all host cores; results "
+        "are identical for any value",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache (every cell re-simulates)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="result-cache directory (default: $REPRO_CACHE_DIR or "
+        "results/.runcache; entries auto-invalidate when any source "
+        "file under src/repro changes)",
+    )
     parser.add_argument(
         "--out", default=None,
         help="directory for per-figure .txt reports (default: stdout)",

@@ -22,11 +22,19 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.config import SystemConfig, config_for_cores
-from repro.harness.runner import run_workload
+from repro.harness.parallel import (
+    RunSpec,
+    ResultCache,
+    app_cell,
+    app_selfinv_cell,
+    kernel_cell,
+    run_specs,
+    unpadded,
+)
 from repro.stats.collector import RunResult
-from repro.workloads.apps import APP_NAMES, app_core_count, make_app
+from repro.workloads.apps import APP_NAMES, app_core_count
 from repro.workloads.base import KernelSpec
-from repro.workloads.registry import kernel_names, make_kernel
+from repro.workloads.registry import kernel_names
 
 KERNEL_PROTOCOLS = ("MESI", "DeNovoSync0", "DeNovoSync")
 APP_PROTOCOLS = ("MESI", "DeNovoSync")
@@ -73,22 +81,39 @@ def run_kernel_figure(
     seed: int = 1,
     protocols: tuple[str, ...] = KERNEL_PROTOCOLS,
     names: Optional[list[str]] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
     **kernel_kwargs,
 ) -> FigureResult:
-    """Reproduce one kernel figure (3, 4, 5 or 6)."""
-    rows = []
+    """Reproduce one kernel figure (3, 4, 5 or 6).
+
+    ``jobs`` fans independent (workload, protocol, cores) cells out to
+    worker processes; the row/result ordering is identical for any value
+    (see :mod:`repro.harness.parallel`).  ``cache`` skips cells already
+    simulated with identical inputs and code.
+    """
+    rows: list[FigureRow] = []
+    specs: list[RunSpec] = []
+    slots: list[tuple[FigureRow, str]] = []
     for cores in core_counts:
         config = config_for_cores(cores)
         for name in names or kernel_names(family):
             row = FigureRow(workload=name, num_cores=cores)
-            for protocol in protocols:
-                workload = make_kernel(
-                    family, name, spec=KernelSpec(scale=scale), **kernel_kwargs
-                )
-                row.results[protocol] = run_workload(
-                    workload, protocol, config, seed=seed
-                )
             rows.append(row)
+            for protocol in protocols:
+                specs.append(
+                    RunSpec(
+                        kernel_cell(
+                            family, name, spec=KernelSpec(scale=scale), **kernel_kwargs
+                        ),
+                        protocol,
+                        config,
+                        seed=seed,
+                    )
+                )
+                slots.append((row, protocol))
+    for (row, protocol), result in zip(slots, run_specs(specs, jobs=jobs, cache=cache)):
+        row.results[protocol] = result
     return FigureResult(FIGURE_FOR_FAMILY[family], rows, scale)
 
 
@@ -97,18 +122,23 @@ def run_apps_figure(
     seed: int = 2,
     protocols: tuple[str, ...] = APP_PROTOCOLS,
     names: Optional[list[str]] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> FigureResult:
     """Reproduce Figure 7 (applications)."""
-    rows = []
+    rows: list[FigureRow] = []
+    specs: list[RunSpec] = []
+    slots: list[tuple[FigureRow, str]] = []
     for name in names or APP_NAMES:
         cores = app_core_count(name)
         config = config_for_cores(cores)
         row = FigureRow(workload=name, num_cores=cores)
-        for protocol in protocols:
-            row.results[protocol] = run_workload(
-                make_app(name, scale=scale), protocol, config, seed=seed
-            )
         rows.append(row)
+        for protocol in protocols:
+            specs.append(RunSpec(app_cell(name, scale=scale), protocol, config, seed=seed))
+            slots.append((row, protocol))
+    for (row, protocol), result in zip(slots, run_specs(specs, jobs=jobs, cache=cache)):
+        row.results[protocol] = result
     return FigureResult("Figure 7 (applications)", rows, scale)
 
 
@@ -151,7 +181,11 @@ def headline_summary(figures: list[FigureResult]) -> dict[str, dict[str, float]]
 
 
 def run_padding_ablation(
-    cores: int = 16, scale: float = 0.1, seed: int = 1
+    cores: int = 16,
+    scale: float = 0.1,
+    seed: int = 1,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> dict[str, FigureResult]:
     """Section 7.1.1: TATAS kernels with and without lock padding.
 
@@ -159,49 +193,49 @@ def run_padding_ablation(
     MESI suffers false sharing; DeNovo's word-granularity state is immune
     but loses the one-transfer-per-line benefit.
     """
-    results = {}
+    config = config_for_cores(cores)
+    specs: list[RunSpec] = []
+    slots: list[tuple[str, FigureRow, str]] = []
+    figures: dict[str, list[FigureRow]] = {}
     for padded in (True, False):
-        rows = []
-        config = config_for_cores(cores)
+        label = "padded" if padded else "unpadded"
+        figures[label] = []
         for name in kernel_names("tatas"):
             row = FigureRow(workload=name, num_cores=cores)
+            figures[label].append(row)
             for protocol in KERNEL_PROTOCOLS:
-                workload = make_kernel("tatas", name, spec=KernelSpec(scale=scale))
-                if not padded:
-                    workload = _unpadded(workload)
-                row.results[protocol] = run_workload(
-                    workload, protocol, config, seed=seed
+                specs.append(
+                    RunSpec(
+                        kernel_cell(
+                            "tatas", name, spec=KernelSpec(scale=scale), padded=padded
+                        ),
+                        protocol,
+                        config,
+                        seed=seed,
+                    )
                 )
-            rows.append(row)
-        label = "padded" if padded else "unpadded"
-        results[label] = FigureResult(f"TATAS locks ({label})", rows, scale)
-    return results
+                slots.append((label, row, protocol))
+    for (label, row, protocol), result in zip(
+        slots, run_specs(specs, jobs=jobs, cache=cache)
+    ):
+        row.results[protocol] = result
+    return {
+        label: FigureResult(f"TATAS locks ({label})", rows, scale)
+        for label, rows in figures.items()
+    }
 
 
 def _unpadded(workload):
-    """Wrap a kernel workload so its allocator does not pad sync variables."""
-    original_build = workload.build
-
-    def build(config, *, seed=0):
-        from repro.mem import regions as regions_mod
-
-        original_init = regions_mod.RegionAllocator.__init__
-
-        def patched_init(self, amap, pad_sync_vars=True):
-            original_init(self, amap, pad_sync_vars=False)
-
-        regions_mod.RegionAllocator.__init__ = patched_init
-        try:
-            return original_build(config, seed=seed)
-        finally:
-            regions_mod.RegionAllocator.__init__ = original_init
-
-    workload.build = build
-    return workload
+    """Back-compat alias for :func:`repro.harness.parallel.unpadded`."""
+    return unpadded(workload)
 
 
 def run_sw_backoff_ablation(
-    cores: int = 64, scale: float = 0.1, seed: int = 1
+    cores: int = 64,
+    scale: float = 0.1,
+    seed: int = 1,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> dict[str, FigureResult]:
     """Section 7.1.1: TATAS kernels with software exponential backoff.
 
@@ -216,6 +250,8 @@ def run_sw_backoff_ablation(
             core_counts=(cores,),
             scale=scale,
             seed=seed,
+            jobs=jobs,
+            cache=cache,
             software_backoff=backoff,
         )
         label = "sw backoff" if backoff else "no backoff"
@@ -224,7 +260,11 @@ def run_sw_backoff_ablation(
 
 
 def run_selfinv_ablation(
-    app: str = "water", scale: float = 0.3, seed: int = 2
+    app: str = "water",
+    scale: float = 0.3,
+    seed: int = 2,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> dict[str, FigureResult]:
     """Section 3's data-consistency spectrum on one application.
 
@@ -233,27 +273,38 @@ def run_selfinv_ablation(
     no-information fallback that flushes every Valid word at each acquire
     and phase boundary.  MESI is the common baseline.
     """
-    from dataclasses import replace
-
-    from repro.workloads.apps import APP_PROFILES, AppWorkload, app_core_count
-
-    results = {}
     cores = app_core_count(app)
     config = config_for_cores(cores)
+    specs: list[RunSpec] = []
+    slots: list[tuple[str, FigureRow, str]] = []
+    labelled_rows: dict[str, FigureRow] = {}
     for flush_all in (False, True):
-        profile = replace(APP_PROFILES[app], flush_all_selfinv=flush_all)
-        row = FigureRow(workload=app, num_cores=cores)
-        for protocol in APP_PROTOCOLS:
-            row.results[protocol] = run_workload(
-                AppWorkload(profile, scale=scale), protocol, config, seed=seed
-            )
         label = "flush-all" if flush_all else "selective regions"
-        results[label] = FigureResult(f"{app} ({label} self-invalidation)", [row], scale)
-    return results
+        row = FigureRow(workload=app, num_cores=cores)
+        labelled_rows[label] = row
+        for protocol in APP_PROTOCOLS:
+            specs.append(
+                RunSpec(
+                    app_selfinv_cell(app, scale, flush_all), protocol, config, seed=seed
+                )
+            )
+            slots.append((label, row, protocol))
+    for (label, row, protocol), result in zip(
+        slots, run_specs(specs, jobs=jobs, cache=cache)
+    ):
+        row.results[protocol] = result
+    return {
+        label: FigureResult(f"{app} ({label} self-invalidation)", [row], scale)
+        for label, row in labelled_rows.items()
+    }
 
 
 def run_eqcheck_ablation(
-    cores: int = 64, scale: float = 0.1, seed: int = 1
+    cores: int = 64,
+    scale: float = 0.1,
+    seed: int = 1,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> dict[str, FigureResult]:
     """Section 7.1.3: Herlihy kernels, original vs reduced equality checks.
 
@@ -269,6 +320,8 @@ def run_eqcheck_ablation(
             core_counts=(cores,),
             scale=scale,
             seed=seed,
+            jobs=jobs,
+            cache=cache,
             names=["Herlihy stack", "Herlihy heap"],
             reduced_checks=reduced,
         )

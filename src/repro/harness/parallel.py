@@ -1,0 +1,314 @@
+"""Parallel, deterministic sweep execution with on-disk result caching.
+
+Every cell of a figure sweep — one ``(workload, protocol, config, seed)``
+simulation — is hermetic: :func:`repro.harness.runner.run_workload` builds
+its own :class:`~repro.sim.engine.Simulator`, protocol and memory state, so
+independent cells can run in separate worker processes with no shared
+state.  This module fans a sweep's cells out to a
+:class:`concurrent.futures.ProcessPoolExecutor` and collects results **in
+submission order**, which makes the parallel sweep's output byte-identical
+to the serial path (``jobs=1`` runs the very same code in-process).
+
+Cells are described by :class:`RunSpec`, a picklable value object: the
+workload is carried as a plain-tuple *descriptor* (rebuilt by
+:func:`materialize_workload` inside the worker) rather than a live
+``Workload`` object, because workload instances may close over generators
+or monkey-patched builders that do not pickle.
+
+:class:`ResultCache` adds an on-disk cache keyed by a SHA-256 of the
+workload descriptor, protocol name, every :class:`SystemConfig` field, the
+seed, and a hash of the ``repro`` package's source files (the *code
+version*).  Re-running a figure therefore only simulates cells whose
+inputs or simulator code changed; any edit under ``src/repro`` invalidates
+the whole cache automatically.  Entries are stored as one pickle file per
+key under ``<root>/<key[:2]>/<key>.pkl`` and written atomically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.config import SystemConfig
+from repro.harness.runner import DEFAULT_MAX_EVENTS, run_workload
+from repro.stats.collector import RunResult
+from repro.workloads.base import KernelSpec, Workload
+
+#: Default cache location (relative to the working directory) used by the
+#: CLI; ``REPRO_CACHE_DIR`` overrides it.
+DEFAULT_CACHE_DIR = os.path.join("results", ".runcache")
+
+
+# -- workload descriptors -----------------------------------------------------
+#
+# A descriptor is a nested tuple of primitives (fully picklable and
+# JSON-serializable after tuple->list coercion) that names a workload and
+# every parameter needed to rebuild it bit-identically in a worker.
+
+
+def kernel_cell(
+    family: str,
+    name: str,
+    spec: Optional[KernelSpec] = None,
+    padded: bool = True,
+    **kernel_kwargs,
+) -> tuple:
+    """Descriptor for one synchronization kernel (Figures 3-6 families)."""
+    spec = spec or KernelSpec()
+    return (
+        "kernel",
+        family,
+        name,
+        (spec.iterations, spec.scale, spec.unbalanced),
+        tuple(sorted(kernel_kwargs.items())),
+        bool(padded),
+    )
+
+
+def app_cell(name: str, scale: float = 1.0) -> tuple:
+    """Descriptor for one Figure 7 application model."""
+    return ("app", name, float(scale))
+
+
+def app_selfinv_cell(name: str, scale: float, flush_all: bool) -> tuple:
+    """Descriptor for the section 3 self-invalidation ablation variants."""
+    return ("app_selfinv", name, float(scale), bool(flush_all))
+
+
+def unpadded(workload: Workload) -> Workload:
+    """Wrap a kernel workload so its allocator does not pad sync variables."""
+    original_build = workload.build
+
+    def build(config, *, seed=0):
+        from repro.mem import regions as regions_mod
+
+        original_init = regions_mod.RegionAllocator.__init__
+
+        def patched_init(self, amap, pad_sync_vars=True):
+            original_init(self, amap, pad_sync_vars=False)
+
+        regions_mod.RegionAllocator.__init__ = patched_init
+        try:
+            return original_build(config, seed=seed)
+        finally:
+            regions_mod.RegionAllocator.__init__ = original_init
+
+    workload.build = build
+    return workload
+
+
+def materialize_workload(descriptor: tuple) -> Workload:
+    """Rebuild the workload a descriptor names (runs inside the worker)."""
+    kind = descriptor[0]
+    if kind == "kernel":
+        _, family, name, spec_fields, kwargs, padded = descriptor
+        from repro.workloads.registry import make_kernel
+
+        iterations, scale, unbalanced = spec_fields
+        workload = make_kernel(
+            family,
+            name,
+            spec=KernelSpec(iterations=iterations, scale=scale, unbalanced=unbalanced),
+            **dict(kwargs),
+        )
+        return workload if padded else unpadded(workload)
+    if kind == "app":
+        from repro.workloads.apps import make_app
+
+        return make_app(descriptor[1], scale=descriptor[2])
+    if kind == "app_selfinv":
+        from dataclasses import replace
+
+        from repro.workloads.apps import APP_PROFILES, AppWorkload
+
+        _, name, scale, flush_all = descriptor
+        profile = replace(APP_PROFILES[name], flush_all_selfinv=flush_all)
+        return AppWorkload(profile, scale=scale)
+    raise ValueError(f"unknown workload descriptor kind {kind!r}")
+
+
+# -- run specifications -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One picklable sweep cell: (workload descriptor, protocol, config, seed)."""
+
+    workload: tuple
+    protocol: str
+    config: SystemConfig
+    seed: int = 0
+    max_events: Optional[int] = DEFAULT_MAX_EVENTS
+
+    def cache_token(self) -> dict:
+        """Everything that determines this cell's result, JSON-serializable."""
+        return {
+            "format": 1,
+            "workload": self.workload,
+            "protocol": self.protocol,
+            "config": asdict(self.config),
+            "seed": self.seed,
+            "max_events": self.max_events,
+        }
+
+
+def execute_spec(spec: RunSpec) -> RunResult:
+    """Run one cell to completion (the worker-process entry point)."""
+    workload = materialize_workload(spec.workload)
+    result = run_workload(
+        workload, spec.protocol, spec.config, seed=spec.seed, max_events=spec.max_events
+    )
+    return result.portable_copy()
+
+
+# -- code-version fingerprint -------------------------------------------------
+
+_code_version: Optional[str] = None
+
+
+def code_version() -> str:
+    """SHA-256 over every ``repro`` source file; cached per process.
+
+    Part of every cache key: editing anything under ``src/repro``
+    invalidates all previously cached results.
+    """
+    global _code_version
+    if _code_version is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _code_version = digest.hexdigest()
+    return _code_version
+
+
+# -- the on-disk result cache -------------------------------------------------
+
+
+class ResultCache:
+    """Content-addressed store of :class:`RunResult` pickles.
+
+    ``hits`` / ``misses`` / ``stores`` count this instance's traffic (used
+    by tests and the CLI's cache reporting).  A corrupt or unreadable entry
+    is treated as a miss, and a failed write is skipped silently: the cache
+    is best-effort and must never fail a sweep.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def key_for(self, spec: RunSpec) -> str:
+        token = spec.cache_token()
+        token["code_version"] = code_version()
+        blob = json.dumps(token, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def _path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def load(self, spec: RunSpec) -> Optional[RunResult]:
+        path = self._path_for(self.key_for(spec))
+        try:
+            with open(path, "rb") as fh:
+                result = pickle.load(fh)
+        except (OSError, pickle.PickleError, EOFError, AttributeError):
+            self.misses += 1
+            return None
+        if not isinstance(result, RunResult):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, spec: RunSpec, result: RunResult) -> None:
+        """Best-effort: an unwritable cache must never fail a sweep whose
+        simulations already completed."""
+        path = self._path_for(self.key_for(spec))
+        tmp_name = None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Atomic publish: a concurrent reader sees the old entry or the
+            # new one, never a torn pickle.
+            fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result.portable_copy(), fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except OSError:
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+            return
+        self.stores += 1
+
+
+# -- the sweep executor -------------------------------------------------------
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: None/0/negative mean "all host cores"."""
+    if jobs is None or jobs < 1:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def run_specs(
+    specs: Iterable[RunSpec],
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> list[RunResult]:
+    """Run every spec; return results in spec order.
+
+    ``jobs=1`` executes in-process (the serial reference path); ``jobs>1``
+    fans uncached cells out to a process pool.  Results are collected in
+    submission order regardless of completion order, and each cell is
+    hermetic, so the returned list is identical for any ``jobs`` value.
+    Freshly simulated results are written back to ``cache`` when given.
+    """
+    specs = list(specs)
+    results: list[Optional[RunResult]] = [None] * len(specs)
+    pending: list[int] = []
+    for index, spec in enumerate(specs):
+        cached = cache.load(spec) if cache is not None else None
+        if cached is not None:
+            results[index] = cached
+        else:
+            pending.append(index)
+
+    jobs = resolve_jobs(jobs)
+    if jobs > 1 and len(pending) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = [(i, pool.submit(execute_spec, specs[i])) for i in pending]
+            for index, future in futures:
+                results[index] = future.result()
+    else:
+        for index in pending:
+            results[index] = execute_spec(specs[index])
+
+    if cache is not None:
+        for index in pending:
+            cache.store(specs[index], results[index])
+    return results  # type: ignore[return-value]
+
+
+def default_cache(cache_dir: Optional[str] = None) -> ResultCache:
+    """The CLI's cache: ``--cache-dir``, else ``$REPRO_CACHE_DIR``, else
+    ``results/.runcache`` under the working directory."""
+    root = cache_dir or os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+    return ResultCache(root)

@@ -65,6 +65,18 @@ class _SetAssocDirectory:
         group.move_to_end(line)
         return victim
 
+    def replace(self, line: int, entry) -> None:
+        """Overwrite the entry of a resident ``line`` without touching LRU.
+
+        Used for transitions forced by *remote* activity (e.g. a MESI owner
+        downgraded to Shared by another core's load): the local core did not
+        access the line, so its recency must not change.
+        """
+        group = self._set_of(line)
+        if line not in group:
+            raise KeyError(f"line {line} not resident")
+        group[line] = entry
+
     def pop(self, line: int):
         return self._set_of(line).pop(line, None)
 
@@ -91,9 +103,17 @@ class MesiL1:
         return self._dir.put(line, state)
 
     def set_state(self, line: int, state: MesiState) -> None:
+        """Change the coherence state of a resident line *in place*.
+
+        Deliberately does not refresh LRU recency: state changes driven by
+        remote requests (owner downgrade on a forwarded load, for example)
+        are not local accesses, so they must not keep the line artificially
+        hot in this core's replacement order.  Local accesses touch the
+        line through :meth:`state_of` before calling this.
+        """
         if self._dir.get(line, touch=False) is None:
             raise KeyError(f"line {line} not present in L1 {self.core_id}")
-        self._dir.put(line, state)
+        self._dir.replace(line, state)
 
     def invalidate(self, line: int) -> Optional[MesiState]:
         """Drop ``line`` (writer-initiated invalidation); return old state."""

@@ -43,7 +43,12 @@ class TrafficLedger:
         return {klass.value: self._flits[klass] for klass in MessageClass}
 
     def merged_with(self, other: "TrafficLedger") -> "TrafficLedger":
+        # Counter.__add__ silently drops zero-count keys (a recorded
+        # zero-hop message class would vanish from the merge); update()
+        # preserves every key either side has seen.
         merged = TrafficLedger()
-        merged._flits = self._flits + other._flits
-        merged._messages = self._messages + other._messages
+        merged._flits.update(self._flits)
+        merged._flits.update(other._flits)
+        merged._messages.update(self._messages)
+        merged._messages.update(other._messages)
         return merged

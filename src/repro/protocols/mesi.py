@@ -98,6 +98,10 @@ class MesiProtocol(CoherenceProtocol):
             ventry.exclusive_owner = None
         else:
             ventry.sharers.discard(core_id)
+        # The victim's copy is gone, so a future writer's invalidation will
+        # never reach this core: wake any spin-waiter subscribed to the
+        # victim now (it re-probes and misses), else it sleeps forever.
+        self._notify_waiters(vline, core_id, self.now)
 
     def _invalidate_sharer(self, line: int, sharer: int, notify_time: int) -> None:
         """Drop ``sharer``'s copy and wake any spin-waiters it had on it."""

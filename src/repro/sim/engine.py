@@ -76,8 +76,15 @@ class Simulator:
         """Run events until the queue drains (or limits hit); return event count.
 
         ``until`` stops the simulation once the next event lies beyond that
-        cycle; ``max_events`` bounds the number of fired events (a safety net
-        against livelocked workloads).
+        cycle — events scheduled exactly *at* ``until`` still fire — and then
+        advances ``now`` to ``until`` (i.e. to ``min(until, next-event
+        time)``), so callers interleaving ``run(until=t)`` with
+        ``schedule_at`` cannot accidentally schedule before ``t``; a
+        ``schedule_at(t - k)`` afterwards raises like any other
+        in-the-past schedule.  A stale ``until`` (``until < now``) fires
+        nothing and leaves the clock alone.  ``max_events`` bounds the
+        number of fired events (a safety net against livelocked workloads)
+        and raises without touching the clock.
         """
         fired = 0
         while self._queue:
@@ -93,6 +100,8 @@ class Simulator:
                 )
             self.step()
             fired += 1
+        if until is not None and until > self.now:
+            self.now = until
         return fired
 
     @property

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.noc.traffic import TrafficLedger
@@ -69,6 +69,21 @@ class RunResult:
         return sum(b.get(component) for b in self.per_core_time) / len(
             self.per_core_time
         )
+
+    #: meta keys that hold live simulation objects (attached by the
+    #: ``keep_protocol`` / ``trace`` runner options) and must not cross a
+    #: process boundary or enter the on-disk result cache.
+    NON_PORTABLE_META = ("protocol", "trace")
+
+    def portable_copy(self) -> "RunResult":
+        """A copy safe to pickle: all measurements, no live objects.
+
+        Everything except the :data:`NON_PORTABLE_META` entries round-trips
+        through pickle unchanged, which is what the parallel sweep executor
+        and the result cache rely on.
+        """
+        meta = {k: v for k, v in self.meta.items() if k not in self.NON_PORTABLE_META}
+        return replace(self, meta=meta)
 
     def summary(self) -> dict:
         return {

@@ -44,8 +44,11 @@ class TimeBreakdown:
         return {c.value: self._cycles[c] for c in TimeComponent}
 
     def merged_with(self, other: "TimeBreakdown") -> "TimeBreakdown":
+        # Counter.__add__ silently drops zero-count keys; update() keeps a
+        # component that was explicitly tracked at zero cycles.
         merged = TimeBreakdown()
-        merged._cycles = self._cycles + other._cycles
+        merged._cycles.update(self._cycles)
+        merged._cycles.update(other._cycles)
         return merged
 
     @staticmethod

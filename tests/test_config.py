@@ -38,6 +38,34 @@ class TestBackoffConfig:
     def test_counter_max_12_bits(self):
         assert BackoffConfig(12, 64, 64).counter_max == 4095
 
+    def test_counter_max_is_a_valid_bit_mask(self):
+        # The hardware wrap in repro.protocols.backoff uses `& counter_max`,
+        # which is only correct for masks of the form 2^k - 1.
+        for bits in (1, 5, 9, 12):
+            mask = BackoffConfig(bits, 1, 16).counter_max
+            assert mask & (mask + 1) == 0
+            assert mask == 2**bits - 1
+
+    def test_zero_counter_bits_rejected(self):
+        with pytest.raises(ValueError, match="counter_bits"):
+            BackoffConfig(0, 1, 16)
+
+    def test_negative_counter_bits_rejected(self):
+        with pytest.raises(ValueError, match="counter_bits"):
+            BackoffConfig(-3, 1, 16)
+
+    def test_non_integer_counter_bits_rejected(self):
+        with pytest.raises(ValueError, match="counter_bits"):
+            BackoffConfig(8.5, 1, 16)
+
+    def test_zero_update_period_rejected(self):
+        with pytest.raises(ValueError, match="update_period"):
+            BackoffConfig(9, 1, 0)
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError, match="default_increment"):
+            BackoffConfig(9, -1, 16)
+
 
 class TestTable1Presets:
     def test_16_core_parameters(self):

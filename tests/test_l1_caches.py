@@ -66,6 +66,30 @@ class TestMesiL1:
             l1.insert(line, MesiState.SHARED)
         assert len(l1) <= config.l1_lines
 
+    def test_set_state_does_not_refresh_lru(self, config):
+        # A remote-initiated state change (owner downgraded to Shared by
+        # another core's load) must not make the line recently-used here.
+        l1 = MesiL1(0, config)
+        num_sets = config.l1_sets
+        lines = [i * num_sets for i in range(config.l1_assoc)]
+        for line in lines:
+            l1.insert(line, MesiState.EXCLUSIVE)
+        l1.set_state(lines[0], MesiState.SHARED)  # oldest line, remote poke
+        victim = l1.insert(config.l1_assoc * num_sets, MesiState.SHARED)
+        assert victim == (lines[0], MesiState.SHARED)
+
+    def test_set_state_keeps_untouched_order(self, config):
+        l1 = MesiL1(0, config)
+        num_sets = config.l1_sets
+        lines = [i * num_sets for i in range(config.l1_assoc)]
+        for line in lines:
+            l1.insert(line, MesiState.SHARED)
+        # Poking every line's state in reverse must leave LRU order intact.
+        for line in reversed(lines):
+            l1.set_state(line, MesiState.MODIFIED)
+        victim = l1.insert(config.l1_assoc * num_sets, MesiState.SHARED)
+        assert victim == (lines[0], MesiState.MODIFIED)
+
 
 class TestDeNovoL1:
     def make(self, config, amap, evictions=None):

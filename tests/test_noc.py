@@ -158,3 +158,25 @@ class TestTrafficLedger:
         ledger = TrafficLedger()
         with pytest.raises(ValueError):
             ledger.record(MessageClass.LOAD, -1, 2)
+
+    def test_merged_with_preserves_zero_count_keys(self):
+        # A zero-hop message records 0 flit crossings but 1 message; the
+        # merge must not drop the key (Counter.__add__ would).
+        a, b = TrafficLedger(), TrafficLedger()
+        a.record(MessageClass.WRITEBACK, 5, 0)  # co-located: zero crossings
+        b.record(MessageClass.LOAD, 3, 2)
+        merged = a.merged_with(b)
+        assert MessageClass.WRITEBACK in merged._flits
+        assert merged.flit_crossings(MessageClass.WRITEBACK) == 0
+        assert merged.message_count(MessageClass.WRITEBACK) == 1
+        assert merged.message_count() == 2
+
+    def test_merged_with_zero_keys_from_both_sides(self):
+        a, b = TrafficLedger(), TrafficLedger()
+        a.record(MessageClass.LOAD, 2, 0)
+        b.record(MessageClass.STORE, 4, 0)
+        merged = a.merged_with(b)
+        assert MessageClass.LOAD in merged._flits
+        assert MessageClass.STORE in merged._flits
+        assert merged.flit_crossings() == 0
+        assert merged.message_count() == 2

@@ -208,6 +208,84 @@ class TestSelfInvalidate:
         assert latency == 1
 
 
+def tiny_l1_proto() -> MesiProtocol:
+    """A 2-line, single-set L1 so back-to-back fills force replacements."""
+    return MesiProtocol(config_16(l1_bytes=128, l1_assoc=2))
+
+
+class TestWaiterEviction:
+    """A spin-waiter whose cached copy falls to its *own* L1 replacement
+    must be woken (the writer's invalidation will never reach it)."""
+
+    def test_own_eviction_wakes_waiter(self):
+        proto = tiny_l1_proto()
+        words = proto.config.words_per_line
+        addr_a, addr_b, addr_c = 0, words, 2 * words  # three distinct lines
+        proto.load(0, addr_a)
+        wakes = []
+        assert proto.subscribe_line_change(0, addr_a, wakes.append) is True
+        proto.set_time(100)
+        proto.load(0, addr_b)  # fills the second way; A still resident
+        assert wakes == []
+        proto.set_time(200)
+        proto.load(0, addr_c)  # evicts A (LRU) from core 0's own L1
+        assert wakes == [200]
+        assert proto.l1s[0].state_of(proto.amap.line_of(addr_a), touch=False) is None
+        # The waiter registration must not linger after the wake.
+        assert not proto._waiters.get(proto.amap.line_of(addr_a))
+
+    def test_modified_victim_eviction_wakes_waiter(self):
+        proto = tiny_l1_proto()
+        words = proto.config.words_per_line
+        addr_a, addr_b, addr_c = 0, words, 2 * words
+        proto.store(0, addr_a, 7, sync=True)  # Modified copy
+        wakes = []
+        assert proto.subscribe_line_change(0, addr_a, wakes.append) is True
+        proto.set_time(50)
+        proto.load(0, addr_b)
+        proto.set_time(90)
+        proto.load(0, addr_c)  # evicts dirty A: writeback + wake
+        assert wakes == [90]
+        assert proto.counters.get("writebacks") >= 1
+
+    def test_other_cores_waiters_survive_local_eviction(self):
+        proto = tiny_l1_proto()
+        words = proto.config.words_per_line
+        addr_a, addr_b, addr_c = 0, words, 2 * words
+        proto.load(0, addr_a)
+        proto.set_time(500)
+        proto.load(1, addr_a, ticketed=True)
+        wakes0, wakes1 = [], []
+        proto.subscribe_line_change(0, addr_a, wakes0.append)
+        proto.subscribe_line_change(1, addr_a, wakes1.append)
+        proto.set_time(600)
+        proto.load(0, addr_b)
+        proto.set_time(700)
+        proto.load(0, addr_c)  # core 0 loses A; core 1's copy is intact
+        assert wakes0 == [700]
+        assert wakes1 == []
+
+
+class TestRemoteDowngradeLru:
+    def test_remote_downgrade_does_not_refresh_victim_lru(self):
+        # Core 1's load forwards from owner core 0 and downgrades its copy
+        # to Shared; that remote poke must not make the line recently-used
+        # in core 0's replacement order.
+        proto = tiny_l1_proto()
+        words = proto.config.words_per_line
+        addr_a, addr_b, addr_c = 0, words, 2 * words
+        proto.load(0, addr_a)  # Exclusive, oldest local touch
+        proto.set_time(10)
+        proto.load(0, addr_b)
+        proto.set_time(2000)
+        proto.load(1, addr_a, ticketed=True)  # owner forward, A -> Shared
+        proto.set_time(4000)
+        proto.load(0, addr_c)  # replacement: A is still core 0's LRU victim
+        l1 = proto.l1s[0]
+        assert l1.state_of(proto.amap.line_of(addr_a), touch=False) is None
+        assert l1.state_of(proto.amap.line_of(addr_b), touch=False) is not None
+
+
 class TestEviction:
     def test_modified_eviction_writes_back_and_clears_owner(self, proto):
         config = proto.config

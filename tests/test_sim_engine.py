@@ -80,6 +80,49 @@ class TestRunLimits:
         sim.run()
         assert fired == [10, 100]
 
+    def test_until_advances_clock(self):
+        # run(until=t) must leave now == t, not at the last fired event,
+        # so a subsequent schedule_at(t - k) is rejected as in-the-past.
+        sim = Simulator()
+        sim.schedule_at(10, lambda: None)
+        sim.schedule_at(100, lambda: None)
+        sim.run(until=50)
+        assert sim.now == 50
+        with pytest.raises(ValueError):
+            sim.schedule_at(40, lambda: None)
+
+    def test_until_advances_clock_on_empty_queue(self):
+        sim = Simulator()
+        assert sim.run(until=30) == 0
+        assert sim.now == 30
+
+    def test_event_exactly_at_until_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(50, lambda: fired.append(50))
+        sim.schedule_at(51, lambda: fired.append(51))
+        sim.run(until=50)
+        assert fired == [50]
+        assert sim.now == 50
+
+    def test_stale_until_does_not_rewind_clock(self):
+        sim = Simulator()
+        sim.schedule_at(40, lambda: None)
+        sim.run()
+        assert sim.now == 40
+        sim.run(until=10)
+        assert sim.now == 40
+
+    def test_until_then_resume_is_seamless(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(10, lambda: fired.append(10))
+        sim.schedule_at(100, lambda: fired.append(100))
+        sim.run(until=50)
+        sim.schedule_at(60, lambda: fired.append(60))
+        sim.run()
+        assert fired == [10, 60, 100]
+
     def test_max_events_raises(self):
         sim = Simulator()
 
@@ -89,6 +132,29 @@ class TestRunLimits:
         sim.schedule_at(0, reschedule)
         with pytest.raises(RuntimeError, match="max_events"):
             sim.run(max_events=100)
+
+    def test_max_events_fires_exactly_that_many(self):
+        sim = Simulator()
+        fired = []
+        for t in range(5):
+            sim.schedule_at(t, lambda t=t: fired.append(t))
+        with pytest.raises(RuntimeError, match="max_events"):
+            sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_max_events_does_not_advance_clock_to_until(self):
+        sim = Simulator()
+        for t in range(5):
+            sim.schedule_at(t, lambda: None)
+        with pytest.raises(RuntimeError, match="max_events"):
+            sim.run(until=100, max_events=2)
+        assert sim.now == 1  # last fired event, not until
+
+    def test_max_events_zero_with_pending_events_raises(self):
+        sim = Simulator()
+        sim.schedule_at(10, lambda: None)
+        with pytest.raises(RuntimeError, match="max_events"):
+            sim.run(max_events=0)
 
     def test_run_returns_event_count(self):
         sim = Simulator()

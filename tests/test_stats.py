@@ -42,6 +42,17 @@ class TestTimeBreakdown:
         assert merged.get(TimeComponent.COMPUTE) == 10
         assert merged.get(TimeComponent.SW_BACKOFF) == 7
 
+    def test_merged_with_preserves_zero_cycle_components(self):
+        # An explicitly-tracked zero-cycle component must survive the merge
+        # (Counter.__add__ would silently drop it).
+        a, b = TimeBreakdown(), TimeBreakdown()
+        a.add(TimeComponent.HW_BACKOFF, 0)
+        b.add(TimeComponent.COMPUTE, 3)
+        merged = a.merged_with(b)
+        assert TimeComponent.HW_BACKOFF in merged._cycles
+        assert merged.get(TimeComponent.HW_BACKOFF) == 0
+        assert merged.total() == 3
+
 
 class TestProtocolCounters:
     def test_bump_and_get(self):
