@@ -27,7 +27,10 @@ from repro.config import (
     config_for_cores,
 )
 from repro.harness.runner import run_workload
+from repro.noc.faults import FaultInjector, FaultPlan
 from repro.protocols import PROTOCOLS, make_protocol
+from repro.protocols.invariants import InvariantViolation
+from repro.sim.watchdog import HangError, SimulationStuck, Watchdog
 from repro.stats.collector import RunResult
 from repro.workloads.base import KernelSpec
 
@@ -35,12 +38,18 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BackoffConfig",
+    "FaultInjector",
+    "FaultPlan",
+    "HangError",
+    "InvariantViolation",
     "KernelSpec",
     "LatencyRange",
     "PROTOCOLS",
     "ProtocolTuning",
     "RunResult",
+    "SimulationStuck",
     "SystemConfig",
+    "Watchdog",
     "config_16",
     "config_64",
     "config_for_cores",

@@ -102,12 +102,21 @@ class ProtocolTuning:
     self_invalidate_latency: int = 1
 
 
+#: Valid settings for :attr:`SystemConfig.invariant_level`.
+INVARIANT_LEVELS = ("off", "sampled", "full")
+
+
 @dataclass(frozen=True)
 class SystemConfig:
     """Full simulated-system parameters for one experiment.
 
     Defaults correspond to the paper's 16-core configuration; use
     :func:`config_16` / :func:`config_64` for the published setups.
+
+    ``invariant_level`` arms the runtime coherence invariant checker
+    (:mod:`repro.protocols.invariants`): ``off`` disables it, ``sampled``
+    audits the full protocol state every ``invariant_sample_period``
+    operations, ``full`` audits before every operation.
     """
 
     num_cores: int = 16
@@ -127,6 +136,8 @@ class SystemConfig:
         )
     )
     tuning: ProtocolTuning = field(default_factory=ProtocolTuning)
+    invariant_level: str = "off"
+    invariant_sample_period: int = 64
 
     def __post_init__(self) -> None:
         side = math.isqrt(self.num_cores)
@@ -136,6 +147,16 @@ class SystemConfig:
             )
         if self.line_bytes % self.word_bytes:
             raise ValueError("line_bytes must be a multiple of word_bytes")
+        if self.invariant_level not in INVARIANT_LEVELS:
+            raise ValueError(
+                f"invariant_level must be one of {INVARIANT_LEVELS}, "
+                f"got {self.invariant_level!r}"
+            )
+        if self.invariant_sample_period < 1:
+            raise ValueError(
+                f"invariant_sample_period must be >= 1, "
+                f"got {self.invariant_sample_period!r}"
+            )
 
     @property
     def mesh_side(self) -> int:

@@ -47,6 +47,12 @@ class Core:
         self.finish_time: Optional[int] = None
         self._gen: Optional[Generator] = None
         self._bucket_stack: list[TimeComponent] = []
+        # Watchdog-visible blocked state: the ISA op currently in flight,
+        # why the core is waiting (a constant string — no per-op
+        # formatting on the hot path), and when it started waiting.
+        self.pending_op = None
+        self.wait_reason: Optional[str] = None
+        self.blocked_since = 0
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -85,11 +91,18 @@ class Core:
     def _step(self, send_value) -> None:
         """Resume the program with ``send_value`` and run its next operation."""
         assert self._gen is not None
+        # Resuming the generator is the retirement point of the previous
+        # operation: stamp global progress for the liveness watchdog.
+        self.sim.progress_cycle = self.sim.now
         try:
             op = self._gen.send(send_value)
         except StopIteration:
             self.finish_time = self.sim.now
+            self.pending_op = None
+            self.wait_reason = None
             return
+        self.pending_op = op
+        self.blocked_since = self.sim.now
         self._dispatch(op)
 
     def _resume_after(self, delay: int, value=None) -> None:
@@ -98,6 +111,7 @@ class Core:
     def _dispatch(self, op) -> None:
         self.protocol.set_time(self.sim.now)
         if isinstance(op, isa.Compute):
+            self.wait_reason = "compute"
             self._account(op.component, op.cycles)
             self._resume_after(op.cycles)
         elif isinstance(op, isa.Load):
@@ -122,6 +136,7 @@ class Core:
         elif isinstance(op, isa.WaitLoad):
             self._spin_probe(op)
         elif isinstance(op, isa.SelfInvalidate):
+            self.wait_reason = "self-invalidate"
             latency = self.protocol.self_invalidate(
                 self.core_id, list(op.regions), flush_all=op.flush_all
             )
@@ -144,6 +159,7 @@ class Core:
         if op.sync:
             backoff = self.protocol.sync_read_backoff(self.core_id, op.addr)
             if backoff > 0:
+                self.wait_reason = "hw-backoff"
                 self._account(TimeComponent.HW_BACKOFF, backoff)
                 self.sim.schedule_after(backoff, lambda: self._finish_load(op))
                 return
@@ -157,10 +173,12 @@ class Core:
         )
         self._account_access(access)
         if access.retry:
+            self.wait_reason = "directory-retry"
             self.sim.schedule_after(
                 access.latency, lambda: self._finish_load(op, ticketed=True)
             )
             return
+        self.wait_reason = "memory-access"
         self._resume_after(access.latency, access.value)
 
     def _issue_store(self, op: isa.Store, ticketed: bool = False) -> None:
@@ -175,10 +193,12 @@ class Core:
         )
         self._account_access(access)
         if access.retry:
+            self.wait_reason = "directory-retry"
             self.sim.schedule_after(
                 access.latency, lambda: self._issue_store(op, ticketed=True)
             )
             return
+        self.wait_reason = "memory-access"
         self._resume_after(access.latency, access.value)
 
     def _issue_rmw(
@@ -192,6 +212,7 @@ class Core:
         )
         self._account_access(access)
         if access.retry:
+            self.wait_reason = "directory-retry"
             self.sim.schedule_after(
                 access.latency,
                 lambda: self._issue_rmw(
@@ -199,6 +220,7 @@ class Core:
                 ),
             )
             return
+        self.wait_reason = "memory-access"
         self._resume_after(access.latency, access.value)
 
     # -- spin-wait ------------------------------------------------------------------
@@ -211,6 +233,7 @@ class Core:
                 self.core_id, op.addr, spinning=True
             )
             if backoff > 0:
+                self.wait_reason = "hw-backoff"
                 self._account(TimeComponent.HW_BACKOFF, backoff)
                 self.sim.schedule_after(backoff, lambda: self._spin_probe_issue(op))
                 return
@@ -223,6 +246,7 @@ class Core:
         )
         self._account_access(access)
         if access.retry:
+            self.wait_reason = "directory-retry"
             self.sim.schedule_after(
                 access.latency, lambda: self._spin_probe_issue(op, ticketed=True)
             )
@@ -231,6 +255,7 @@ class Core:
             if op.acquire:
                 # The successful probe is the acquire point.
                 self.protocol.on_acquire(self.core_id, op.addr)
+            self.wait_reason = "memory-access"
             self._resume_after(access.latency, access.value)
             return
         # Failed probe: wait for our copy to change if the protocol can tell
@@ -246,7 +271,13 @@ class Core:
         subscribed = self.protocol.subscribe_line_change(
             self.core_id, op.addr, on_invalidated
         )
-        if not subscribed:
+        if subscribed:
+            # Sleeping with no scheduled event of our own: only the
+            # protocol's wake callback can resume us.  This is the state
+            # the PR-1 eviction bug stranded cores in.
+            self.wait_reason = "spin-sleep (subscribed)"
+        else:
+            self.wait_reason = "spin-poll"
             self._account(TimeComponent.COMPUTE, SPIN_LOOP_OVERHEAD)
             self.sim.schedule_at(
                 retry_at + SPIN_LOOP_OVERHEAD, lambda: self._spin_probe(op)

@@ -120,6 +120,43 @@ ALL_TARGETS = [
 ]
 
 
+def _fault_plan_from_args(args):
+    """Build a :class:`~repro.noc.faults.FaultPlan` from CLI flags, or
+    None when no fault flag was given."""
+    from repro.noc.faults import FaultPlan
+
+    plan = FaultPlan(
+        seed=args.fault_seed,
+        delay_jitter=args.fault_jitter,
+        reorder_prob=args.fault_reorder,
+        evict_period=args.fault_evict_period,
+        evict_lines=args.fault_evict_lines,
+    )
+    return plan if plan.active else None
+
+
+def _run_chaos(args) -> int:
+    """The ``chaos`` target: seeded fault-injection differential sweep."""
+    from repro.harness.chaos import CHAOS_PROTOCOLS, run_chaos_sweep
+
+    cells = run_chaos_sweep(
+        protocols=CHAOS_PROTOCOLS,
+        seeds=tuple(args.seeds),
+        num_cores=args.cores[0],
+        scale=args.scale,
+        invariant_level=args.invariant_level or "full",
+    )
+    failures = 0
+    for cell in cells:
+        print(cell.describe())
+        failures += not cell.ok
+    print(
+        f"chaos sweep: {len(cells) - failures}/{len(cells)} cells converged "
+        f"(seeds {list(args.seeds)}, {args.cores[0]} cores)"
+    )
+    return 1 if failures else 0
+
+
 def _run_single(args) -> int:
     """The ``run`` target: one workload, one protocol, full detail."""
     from repro.config import config_for_cores
@@ -151,10 +188,26 @@ def _run_single(args) -> int:
             f"micro/pingpong), got {spec!r}"
         )
 
-    config = config_for_cores(cores)
-    result = run_workload(
-        workload, args.protocol, config, seed=args.seed, trace=args.trace is not None
-    )
+    overrides = {}
+    if args.invariant_level is not None:
+        overrides["invariant_level"] = args.invariant_level
+    config = config_for_cores(cores, **overrides)
+    from repro.sim.watchdog import HangError
+
+    try:
+        result = run_workload(
+            workload,
+            args.protocol,
+            config,
+            seed=args.seed,
+            trace=args.trace is not None,
+            fault_plan=_fault_plan_from_args(args),
+            max_cycles=args.max_cycles,
+        )
+    except HangError as exc:
+        # The message already carries the watchdog's rendered dump.
+        print(f"simulation aborted: {exc}", file=sys.stderr)
+        return 2
     print(f"{result.workload} under {result.protocol} on {cores} cores:")
     print(f"  cycles        {result.cycles}")
     print(f"  total traffic {result.total_traffic} flit-crossings")
@@ -191,7 +244,7 @@ def main(argv: list[str] | None = None) -> int:
         prog="denovosync-bench",
         description="Regenerate the DeNovoSync (ASPLOS'15) evaluation figures.",
     )
-    parser.add_argument("target", choices=ALL_TARGETS + ["all", "run"])
+    parser.add_argument("target", choices=ALL_TARGETS + ["all", "run", "chaos"])
     parser.add_argument(
         "--workload", default=None,
         help="for 'run': family/name, e.g. tatas/counter, nonblocking/"
@@ -219,6 +272,40 @@ def main(argv: list[str] | None = None) -> int:
         help="input scale for the Figure 7 application models (default 0.5)",
     )
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--max-cycles", type=int, default=None,
+        help="for 'run': abort with a watchdog dump once the simulated "
+        "clock passes this cycle (guards against runaway runs)",
+    )
+    parser.add_argument(
+        "--invariant-level", choices=["off", "sampled", "full"], default=None,
+        help="arm the runtime coherence invariant checker (default: off "
+        "for 'run', full for 'chaos')",
+    )
+    parser.add_argument(
+        "--seeds", type=int, nargs="+", default=[1, 2, 3],
+        help="for 'chaos': fault seeds to sweep (default: 1 2 3)",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="for 'run': seed of the fault-injection RNG",
+    )
+    parser.add_argument(
+        "--fault-jitter", type=int, default=0,
+        help="for 'run': max extra cycles of per-access delay jitter",
+    )
+    parser.add_argument(
+        "--fault-reorder", type=float, default=0.0,
+        help="for 'run': probability of deferring (reordering) an access",
+    )
+    parser.add_argument(
+        "--fault-evict-period", type=int, default=0,
+        help="for 'run': cycles between forced L1 eviction storms (0: off)",
+    )
+    parser.add_argument(
+        "--fault-evict-lines", type=int, default=1,
+        help="for 'run': random evictions attempted per storm",
+    )
     parser.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for figure sweeps: 1 = serial (default), "
@@ -251,6 +338,8 @@ def main(argv: list[str] | None = None) -> int:
         if args.workload is None:
             parser.error("'run' requires --workload family/name")
         return _run_single(args)
+    if args.target == "chaos":
+        return _run_chaos(args)
 
     targets = ALL_TARGETS if args.target == "all" else [args.target]
     for target in targets:

@@ -8,15 +8,24 @@ from repro.config import SystemConfig
 from repro.cpu.core import Core
 from repro.protocols import make_protocol
 from repro.sim.engine import Simulator
+from repro.sim.watchdog import (
+    DEFAULT_PROGRESS_WINDOW,
+    HangError,
+    SimulationStuck,
+    Watchdog,
+)
 from repro.stats.collector import RunResult
 from repro.workloads.base import Workload
 
 #: Safety net against livelocked kernels; generous for paper-scale runs.
 DEFAULT_MAX_EVENTS = 50_000_000
 
-
-class SimulationStuck(RuntimeError):
-    """The event queue drained with unfinished cores (a deadlocked workload)."""
+__all__ = [
+    "DEFAULT_MAX_EVENTS",
+    "HangError",
+    "SimulationStuck",
+    "run_workload",
+]
 
 
 def run_workload(
@@ -28,6 +37,9 @@ def run_workload(
     max_events: Optional[int] = DEFAULT_MAX_EVENTS,
     keep_protocol: bool = False,
     trace: bool = False,
+    fault_plan=None,
+    max_cycles: Optional[int] = None,
+    progress_window: Optional[int] = DEFAULT_PROGRESS_WINDOW,
 ) -> RunResult:
     """Build ``workload`` for ``config``, run it under ``protocol_name``.
 
@@ -38,9 +50,27 @@ def run_workload(
     cache state (used by tests and examples).  With ``trace`` every
     access is recorded and attached under ``result.meta["trace"]`` (a
     list of :class:`~repro.trace.events.AccessRecord`).
+
+    Liveness is supervised by a :class:`~repro.sim.watchdog.Watchdog`:
+    ``progress_window`` cycles without any core retiring an operation
+    (None disables the check), or the clock passing ``max_cycles``,
+    raises :class:`~repro.sim.watchdog.HangError` with a diagnostic
+    dump; an event queue that drains with unfinished cores raises
+    :class:`~repro.sim.watchdog.SimulationStuck` (a ``HangError``).
+
+    ``fault_plan`` (a :class:`~repro.noc.faults.FaultPlan`) perturbs the
+    run with seeded legal faults — delay jitter, bounded reordering,
+    eviction storms; the injector is attached under
+    ``result.meta["fault_injector"]`` for inspection.
     """
     instance = workload.build(config, seed=seed)
     protocol = make_protocol(protocol_name, config, instance.allocator)
+    injector = None
+    if fault_plan is not None and fault_plan.active:
+        from repro.noc.faults import FaultInjector
+
+        injector = FaultInjector(protocol, fault_plan)
+        protocol = injector
     if trace:
         from repro.trace.recorder import TracingProtocol
 
@@ -50,18 +80,22 @@ def run_workload(
 
     sim = Simulator()
     cores = [Core(core_id, sim, protocol) for core_id in range(config.num_cores)]
+    watchdog = Watchdog(
+        sim, cores, protocol, window=progress_window, max_cycles=max_cycles
+    )
+    sim.watchdog = watchdog
+    if injector is not None:
+        injector.attach(sim, lambda: any(not core.done for core in cores))
     for core, program in zip(cores, instance.programs):
         core.start(program)
 
     sim.run(max_events=max_events)
 
-    unfinished = [core.core_id for core in cores if not core.done]
-    if unfinished:
-        raise SimulationStuck(
-            f"workload {instance.name!r} under {protocol_name}: cores "
-            f"{unfinished} never finished (deadlock or missing wake-up) "
-            f"at cycle {sim.now}"
-        )
+    watchdog.check_quiescent()
+    if config.invariant_level != "off":
+        # Whole-run invariant net: even with sampling, no run ends without
+        # one full audit of the final protocol state.
+        protocol.check_invariants()
 
     cycles = max(core.finish_time for core in cores)
     meta = dict(instance.meta)
@@ -69,6 +103,8 @@ def run_workload(
         meta["protocol"] = protocol
     if trace:
         meta["trace"] = protocol.records
+    if injector is not None:
+        meta["fault_injector"] = injector
     return RunResult(
         workload=instance.name,
         protocol=protocol_name,

@@ -122,6 +122,10 @@ class MesiL1:
     def resident_lines(self) -> list[int]:
         return [line for line, _ in self._dir]
 
+    def lines_and_states(self) -> list[tuple[int, MesiState]]:
+        """Every resident (line, state) pair (for invariant audits)."""
+        return list(self._dir)
+
     def __len__(self) -> int:
         return len(self._dir)
 
@@ -294,6 +298,41 @@ class DeNovoL1:
             if st is DeNovoState.REGISTERED and self._on_evict_registered:
                 self._on_evict_registered(addr, frame.values[off])
             self._untrack_valid(addr, st)
+
+    # -- audit / fault-injection accessors ----------------------------------
+
+    def resident_lines(self) -> list[int]:
+        return [line for line, _ in self._dir]
+
+    def evict_line(self, line: int) -> Optional[DeNovoFrame]:
+        """Force-evict the frame of ``line`` with full writeback handling
+        (as replacement would); return the evicted frame, or None if the
+        line is not resident."""
+        frame = self._dir.pop(line)
+        if frame is not None:
+            self._evict_frame(line, frame)
+        return frame
+
+    def words_and_states(self) -> list[tuple[int, DeNovoState]]:
+        """Every cached (word address, state) pair (for invariant audits)."""
+        out = []
+        for line, frame in self._dir:
+            base = self.amap.line_base(line)
+            out.extend((base + off, st) for off, st in frame.states.items())
+        return out
+
+    def tracked_valid_words(self) -> set[int]:
+        """Union of the region-indexed valid-word tracking sets.
+
+        A superset of the actually-Valid words is legal (stale entries are
+        filtered at self-invalidation time); a Valid word *missing* from
+        it would escape self-invalidation — the invariant checker asserts
+        that never happens.
+        """
+        tracked: set[int] = set()
+        for bucket in self._valid_by_region.values():
+            tracked |= bucket
+        return tracked
 
     def __len__(self) -> int:
         return len(self._dir)

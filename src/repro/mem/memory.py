@@ -31,6 +31,11 @@ class BackingStore:
     def write(self, addr: int, value: int) -> None:
         self._values[addr] = value
 
+    def snapshot(self) -> dict[int, int]:
+        """Copy of every written word (addr -> value), for final-state
+        comparison between runs (the chaos differential tests)."""
+        return dict(self._values)
+
     def is_resident(self, line: int) -> bool:
         """True if ``line`` has been brought on-chip already."""
         return line in self._resident_lines

@@ -1,0 +1,294 @@
+"""Deterministic fault injection: adversarial-but-legal event orderings.
+
+The simulator is deterministic, which makes it reproducible — and blind:
+a protocol race only shows up if the one ordering the event queue happens
+to produce tickles it.  This module widens the explored schedule space
+without giving up reproducibility.  A :class:`FaultPlan` (pure data,
+seeded) describes perturbations that are all *legal* behaviours of the
+modelled hardware:
+
+* **delay jitter** — every completed access is stretched by a few extra
+  cycles (NoC contention the latency model doesn't simulate), shifting
+  every downstream race window;
+* **bounded reordering** — a first-issue access is randomly deferred and
+  re-issued (as a directory retry would be), changing the commit order of
+  racing requests while each core's own program order is untouched;
+* **eviction storms** — periodic forced L1 evictions with full protocol
+  bookkeeping (writeback, directory/registry update, waiter wake-up),
+  simulating far higher capacity pressure than the footprint causes
+  naturally — this is the exact stressor behind the PR-1 sleeping-waiter
+  bug;
+* **scripted evictions** — exact ``(cycle, core, line)`` triples, for
+  regression tests that must hit a specific race window.
+
+:class:`FaultInjector` applies a plan as a transparent protocol wrapper
+(same shape as :class:`~repro.trace.recorder.TracingProtocol`); the
+runner wraps it innermost and calls :meth:`FaultInjector.attach` to
+schedule the storm events.  Under a correct protocol, any plan must leave
+final memory state identical to the unperturbed run for deterministic
+workloads — asserted by the chaos differential tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.mem.regions import Region
+from repro.protocols.base import Access, CoherenceProtocol
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded description of the perturbations to apply to one run.
+
+    All fields default to "no perturbation"; ``seed`` feeds a dedicated
+    RNG so fault decisions are reproducible and independent of the
+    workload's own seeding.
+    """
+
+    seed: int = 0
+    #: Max extra cycles added to each completed access's latency.
+    delay_jitter: int = 0
+    #: Probability of deferring a first-issue access (forced retry).
+    reorder_prob: float = 0.0
+    #: Max cycles a deferred access stalls before its forced re-issue.
+    reorder_delay: int = 16
+    #: Cycles between eviction storms (0 disables storms).
+    evict_period: int = 0
+    #: Random (core, line) evictions attempted per storm.
+    evict_lines: int = 1
+    #: Exact (cycle, core_id, line) evictions, for regression tests.
+    scripted_evictions: tuple = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.reorder_prob <= 1.0:
+            raise ValueError(
+                f"reorder_prob must be in [0, 1], got {self.reorder_prob!r}"
+            )
+        if self.delay_jitter < 0 or self.evict_period < 0:
+            raise ValueError("delay_jitter and evict_period must be >= 0")
+        if self.reorder_delay < 1:
+            raise ValueError(f"reorder_delay must be >= 1, got {self.reorder_delay!r}")
+
+    @property
+    def active(self) -> bool:
+        return bool(
+            self.delay_jitter
+            or self.reorder_prob
+            or self.evict_period
+            or self.scripted_evictions
+        )
+
+
+class FaultInjector:
+    """Apply a :class:`FaultPlan` while delegating to ``inner``.
+
+    ``injected_delay`` / ``deferrals`` / ``forced_evictions`` count what
+    was actually injected (tests assert plans took effect).
+    """
+
+    def __init__(self, inner: CoherenceProtocol, plan: FaultPlan):
+        self.inner = inner
+        self.plan = plan
+        self.rng = random.Random((plan.seed << 1) ^ 0x5EED)
+        self.injected_delay = 0
+        self.deferrals = 0
+        self.forced_evictions = 0
+        self._sim = None
+        self._keep_running: Callable[[], bool] = lambda: True
+
+    # -- scheduling hooks (called by the runner) ---------------------------
+
+    def attach(self, sim, keep_running: Optional[Callable[[], bool]] = None) -> None:
+        """Schedule this plan's eviction events on ``sim``.
+
+        ``keep_running`` gates storm rescheduling (the runner passes
+        "some core is still executing") so storms don't keep the event
+        queue alive after the workload finishes.
+        """
+        self._sim = sim
+        if keep_running is not None:
+            self._keep_running = keep_running
+        for cycle, core_id, line in self.plan.scripted_evictions:
+            sim.schedule_at(
+                cycle, lambda c=core_id, ln=line: self._scripted_evict(c, ln)
+            )
+        if self.plan.evict_period > 0:
+            sim.schedule_after(self.plan.evict_period, self._storm_tick)
+
+    def _scripted_evict(self, core_id: int, line: int) -> None:
+        self.inner.set_time(self._sim.now)
+        if self.inner.force_evict(core_id, line):
+            self.forced_evictions += 1
+
+    def _storm_tick(self) -> None:
+        if not self._keep_running():
+            return
+        self.inner.set_time(self._sim.now)
+        num_cores = self.inner.config.num_cores
+        for _ in range(self.plan.evict_lines):
+            core_id = self.rng.randrange(num_cores)
+            lines = self.inner.debug_resident_lines(core_id)
+            if not lines:
+                continue
+            line = self.rng.choice(lines)
+            if self.inner.force_evict(core_id, line):
+                self.forced_evictions += 1
+        self._sim.schedule_after(self.plan.evict_period, self._storm_tick)
+
+    # -- perturbation helpers ----------------------------------------------
+
+    def _defer(self, ticketed: bool) -> Optional[Access]:
+        """Maybe turn a first-issue access into a forced retry.
+
+        The core re-issues with ``ticketed=True`` (exactly as after a real
+        directory retry), so a deferred access is never deferred twice and
+        the access commits at its *re-issue* time — a bounded reordering
+        of racing requests' service order.
+        """
+        if ticketed or not self.plan.reorder_prob:
+            return None
+        if self.rng.random() >= self.plan.reorder_prob:
+            return None
+        self.deferrals += 1
+        delay = self.rng.randint(1, self.plan.reorder_delay)
+        return Access(0, delay, hit=False, retry=True)
+
+    def _jitter(self, access: Access) -> Access:
+        if self.plan.delay_jitter and not access.retry:
+            extra = self.rng.randint(0, self.plan.delay_jitter)
+            access.latency += extra
+            self.injected_delay += extra
+        return access
+
+    # -- delegated attributes the cores/runner rely on ---------------------
+
+    @property
+    def name(self) -> str:
+        return self.inner.name
+
+    @property
+    def config(self):
+        return self.inner.config
+
+    @property
+    def memory(self):
+        return self.inner.memory
+
+    @property
+    def traffic(self):
+        return self.inner.traffic
+
+    @property
+    def counters(self):
+        return self.inner.counters
+
+    @property
+    def now(self) -> int:
+        return self.inner.now
+
+    @property
+    def allocator(self):
+        return self.inner.allocator
+
+    def set_time(self, now: int) -> None:
+        self.inner.set_time(now)
+
+    def sync_read_backoff(self, core_id: int, addr: int, spinning: bool = False) -> int:
+        return self.inner.sync_read_backoff(core_id, addr, spinning=spinning)
+
+    def subscribe_line_change(self, core_id, addr, callback) -> bool:
+        return self.inner.subscribe_line_change(core_id, addr, callback)
+
+    def on_acquire(self, core_id: int, addr: int) -> None:
+        self.inner.on_acquire(core_id, addr)
+
+    def check_invariants(self) -> None:
+        self.inner.check_invariants()
+
+    def invariant_violations(self) -> list[str]:
+        return self.inner.invariant_violations()
+
+    def force_evict(self, core_id: int, line: int) -> bool:
+        return self.inner.force_evict(core_id, line)
+
+    def debug_resident_lines(self, core_id: int) -> list[int]:
+        return self.inner.debug_resident_lines(core_id)
+
+    def debug_addr_state(self, addr: int) -> str:
+        return self.inner.debug_addr_state(addr)
+
+    def debug_transients(self) -> list[str]:
+        """The injector's own in-flight state, for hang dumps."""
+        out = []
+        if self.plan.active:
+            out.append(
+                f"fault plan: seed={self.plan.seed} "
+                f"jitter<={self.plan.delay_jitter} "
+                f"reorder_prob={self.plan.reorder_prob} "
+                f"evict_period={self.plan.evict_period} "
+                f"(injected: {self.injected_delay} delay cycles, "
+                f"{self.deferrals} deferrals, "
+                f"{self.forced_evictions} forced evictions)"
+            )
+        return out
+
+    # -- perturbed operations ----------------------------------------------
+
+    def load(
+        self,
+        core_id: int,
+        addr: int,
+        sync: bool = False,
+        ticketed: bool = False,
+        acquire: bool = False,
+    ) -> Access:
+        deferred = self._defer(ticketed)
+        if deferred is not None:
+            return deferred
+        return self._jitter(
+            self.inner.load(core_id, addr, sync=sync, ticketed=ticketed, acquire=acquire)
+        )
+
+    def store(
+        self,
+        core_id: int,
+        addr: int,
+        value: int,
+        sync: bool = False,
+        release: bool = False,
+        ticketed: bool = False,
+    ) -> Access:
+        deferred = self._defer(ticketed)
+        if deferred is not None:
+            return deferred
+        return self._jitter(
+            self.inner.store(
+                core_id, addr, value, sync=sync, release=release, ticketed=ticketed
+            )
+        )
+
+    def rmw(
+        self,
+        core_id: int,
+        addr: int,
+        fn: Callable[[int], Optional[int]],
+        release: bool = False,
+        ticketed: bool = False,
+        acquire: bool = False,
+    ) -> Access:
+        deferred = self._defer(ticketed)
+        if deferred is not None:
+            return deferred
+        return self._jitter(
+            self.inner.rmw(
+                core_id, addr, fn, release=release, ticketed=ticketed, acquire=acquire
+            )
+        )
+
+    def self_invalidate(
+        self, core_id: int, regions: list[Region], flush_all: bool = False
+    ) -> int:
+        return self.inner.self_invalidate(core_id, regions, flush_all=flush_all)

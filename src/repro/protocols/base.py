@@ -67,12 +67,73 @@ class CoherenceProtocol(ABC):
         self.counters = ProtocolCounters()
         self.allocator = allocator
         self.now = 0  # kept current by the cores before each operation
+        # Runtime invariant checking (repro.protocols.invariants): a period
+        # of 0 disables it, 1 checks before every operation, N samples
+        # every N-th.  Kept as a pre-computed int so the off path costs a
+        # single falsy branch in set_time.
+        level = config.invariant_level
+        if level == "full":
+            self._invariant_period = 1
+        elif level == "sampled":
+            self._invariant_period = config.invariant_sample_period
+        else:
+            self._invariant_period = 0
+        self._invariant_tick = 0
 
     # -- time ---------------------------------------------------------------
 
     def set_time(self, now: int) -> None:
-        """Cores call this with the simulator clock before each operation."""
+        """Cores call this with the simulator clock before each operation.
+
+        Doubles as the runtime invariant hook: at this point all protocol
+        state is architecturally settled (operations commit atomically at
+        service time), so it is the one safe place to audit coherence
+        invariants mid-run.
+        """
         self.now = now
+        if self._invariant_period:
+            self._invariant_tick += 1
+            if self._invariant_tick >= self._invariant_period:
+                self._invariant_tick = 0
+                self.check_invariants()
+
+    # -- runtime invariants & diagnostics -----------------------------------
+
+    def invariant_violations(self) -> list[str]:
+        """Messages for every currently-violated coherence invariant."""
+        return []
+
+    def check_invariants(self) -> None:
+        """Raise :class:`~repro.protocols.invariants.InvariantViolation`
+        if any coherence invariant is currently violated."""
+        violations = self.invariant_violations()
+        if violations:
+            from repro.protocols.invariants import InvariantViolation
+
+            raise InvariantViolation(self.name, self.now, violations)
+
+    def force_evict(self, core_id: int, line: int) -> bool:
+        """Evict ``line`` from ``core_id``'s L1 with full protocol
+        bookkeeping (writeback, directory/registry update, waiter
+        wake-ups), as replacement pressure would.  Returns False when the
+        line is not resident.  Used by the fault-injection harness
+        (:mod:`repro.noc.faults`) to model eviction storms."""
+        return False
+
+    def debug_resident_lines(self, core_id: int) -> list[int]:
+        """Line indices currently resident in ``core_id``'s L1."""
+        return []
+
+    def debug_addr_state(self, addr: int) -> str:
+        """One-line description of every piece of protocol state covering
+        ``addr`` (directory/registry entry, per-core cache states,
+        waiters) for hang diagnostics."""
+        return f"addr {addr}: (no protocol detail available)"
+
+    def debug_transients(self) -> list[str]:
+        """Human-readable lines describing in-flight transient state
+        (busy directory windows, registration chains, subscriptions)."""
+        return []
 
     # -- operations -----------------------------------------------------------
 

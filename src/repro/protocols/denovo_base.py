@@ -29,6 +29,7 @@ from repro.mem.l1 import DeNovoL1, DeNovoState
 from repro.mem.regions import Region
 from repro.noc.messages import MessageClass
 from repro.protocols.base import Access, CoherenceProtocol
+from repro.protocols.invariants import denovo_violations
 
 #: Cycles for the local flash self-invalidation instruction.
 SELF_INVALIDATE_LATENCY = 1
@@ -383,3 +384,53 @@ class DeNovoBaseProtocol(CoherenceProtocol):
                 dropped += l1.self_invalidate_region(region.region_id)
         self.counters.bump("self_invalidated_words", dropped)
         return self.config.tuning.self_invalidate_latency
+
+    # -- runtime invariants & diagnostics -------------------------------------
+
+    def invariant_violations(self) -> list[str]:
+        return denovo_violations(self)
+
+    def force_evict(self, core_id: int, line: int) -> bool:
+        """Evict the whole frame of ``line`` from ``core_id``'s L1 as
+        replacement would: Registered words write their registration back
+        to the LLC, and any spin-waiter asleep on one of them is woken
+        (its local copy is gone, so only a re-probe can observe change)."""
+        frame = self.l1s[core_id].evict_line(line)
+        if frame is None:
+            return False
+        for off in frame.registered_offsets():
+            addr = self.amap.line_base(line) + off
+            self._notify_word_waiters(addr, core_id, self.now)
+        return True
+
+    def debug_resident_lines(self, core_id: int) -> list[int]:
+        return self.l1s[core_id].resident_lines()
+
+    def debug_addr_state(self, addr: int) -> str:
+        owner = self.registry.get(addr)
+        copies = {
+            core_id: l1.state_of(addr, touch=False).value
+            for core_id, l1 in enumerate(self.l1s)
+            if l1.state_of(addr, touch=False) is not DeNovoState.INVALID
+        }
+        waiters = sorted(core for core, _ in self._word_waiters.get(addr, []))
+        chain = self._reg_chain.get(addr, 0)
+        return (
+            f"word {addr}: registry owner={owner} L1 states={copies or '{}'} "
+            f"reg-chain end={chain} subscribed waiters={waiters}"
+        )
+
+    def debug_transients(self) -> list[str]:
+        out = []
+        for addr, end in sorted(self._reg_chain.items()):
+            if end > self.now:
+                out.append(
+                    f"word {addr}: registration chain busy until cycle "
+                    f"{end} (owner={self.registry.get(addr)})"
+                )
+        for addr, waiters in sorted(self._word_waiters.items()):
+            cores = sorted(core for core, _ in waiters)
+            out.append(
+                f"word {addr}: cores {cores} sleeping on registration steal"
+            )
+        return out

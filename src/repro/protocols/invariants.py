@@ -1,0 +1,165 @@
+"""Runtime coherence invariant checker.
+
+:mod:`repro.verify.checker` audits protocol state at quiescent points
+(exhaustive small-scope exploration, final-state tests).  This module is
+the *in-flight* version: protocols call :func:`verify` from
+:meth:`~repro.protocols.base.CoherenceProtocol.set_time` — i.e. just
+before every operation commits, when all state is architecturally settled
+— at a rate chosen by ``SystemConfig.invariant_level``:
+
+* ``off``      — never (the default; zero hot-path cost beyond one branch),
+* ``sampled``  — every ``invariant_sample_period``-th operation,
+* ``full``     — before every operation.
+
+A failed check raises :class:`InvariantViolation` (an ``AssertionError``:
+the simulator itself is wrong, not the workload), whose message names
+every violated invariant with the line/word address and the cores
+involved.
+
+Checked invariants — MESI (line granularity):
+
+* **single owner**: a directory entry's exclusive owner holds the line in
+  E or M, and no other core caches it;
+* **M excludes sharers**: an owned entry records no sharers besides the
+  owner;
+* **directory completeness**: every cached copy is known to the directory
+  (sharer list ⊇ actual caching cores), and every E/M copy in an L1 is
+  the directory's recorded owner.
+
+DeNovo (word granularity):
+
+* **registry accuracy**: the registry owner of a word holds it Registered
+  with the up-to-date (backing-store) value — the registry points at the
+  unique up-to-date copy;
+* **single registered copy**: no core other than the registry owner holds
+  the word Registered (and no Registered word is unknown to the
+  registry);
+* **touched-set consistency**: every Valid word is present in its L1's
+  region-indexed valid-word tracking, so a self-invalidation of the
+  word's region cannot miss it.
+"""
+
+from __future__ import annotations
+
+from repro.mem.l1 import DeNovoState, MesiState
+
+
+class InvariantViolation(AssertionError):
+    """Protocol state violates a coherence invariant (a simulator bug).
+
+    ``violations`` is the full list of messages; the exception text
+    carries all of them so a single failure reports every broken
+    invariant at once.
+    """
+
+    def __init__(self, protocol_name: str, now: int, violations: list[str]):
+        self.protocol_name = protocol_name
+        self.now = now
+        self.violations = list(violations)
+        detail = "\n".join(f"  - {v}" for v in self.violations)
+        super().__init__(
+            f"[{protocol_name}] {len(self.violations)} coherence invariant "
+            f"violation(s) at cycle {now}:\n{detail}"
+        )
+
+
+def verify(protocol) -> None:
+    """Raise :class:`InvariantViolation` if ``protocol`` is inconsistent."""
+    violations = protocol.invariant_violations()
+    if violations:
+        raise InvariantViolation(protocol.name, protocol.now, violations)
+
+
+# -- MESI ---------------------------------------------------------------------
+
+
+def mesi_violations(protocol) -> list[str]:
+    """All violated MESI invariants of ``protocol`` (a MesiProtocol)."""
+    failures: list[str] = []
+    for line, entry in protocol._directory.items():
+        holders = {
+            core_id
+            for core_id, l1 in enumerate(protocol.l1s)
+            if l1.state_of(line, touch=False) is not None
+        }
+        owner = entry.exclusive_owner
+        if owner is not None:
+            owner_state = protocol.l1s[owner].state_of(line, touch=False)
+            if owner_state not in (MesiState.EXCLUSIVE, MesiState.MODIFIED):
+                failures.append(
+                    f"line {line}: directory owner core {owner} holds "
+                    f"{owner_state} (expected E or M)"
+                )
+            extra = holders - {owner}
+            if extra:
+                failures.append(
+                    f"line {line}: exclusive owner core {owner} coexists "
+                    f"with copies at cores {sorted(extra)}"
+                )
+            if entry.sharers - {owner}:
+                failures.append(
+                    f"line {line}: owner core {owner} recorded alongside "
+                    f"sharers {sorted(entry.sharers)}"
+                )
+        else:
+            unknown = holders - entry.sharers
+            if unknown:
+                failures.append(
+                    f"line {line}: cores {sorted(unknown)} cache copies the "
+                    f"directory does not know about (sharers "
+                    f"{sorted(entry.sharers)})"
+                )
+    # The cache-side view of single-owner: an E/M copy anywhere must be
+    # the directory's recorded owner for that line.
+    for core_id, l1 in enumerate(protocol.l1s):
+        for line, state in l1.lines_and_states():
+            if state in (MesiState.EXCLUSIVE, MesiState.MODIFIED):
+                entry = protocol._directory.get(line)
+                owner = entry.exclusive_owner if entry is not None else None
+                if owner != core_id:
+                    failures.append(
+                        f"line {line}: core {core_id} holds {state} but the "
+                        f"directory records owner {owner}"
+                    )
+    return failures
+
+
+# -- DeNovo -------------------------------------------------------------------
+
+
+def denovo_violations(protocol) -> list[str]:
+    """All violated DeNovo invariants of ``protocol`` (a DeNovoBaseProtocol)."""
+    failures: list[str] = []
+    memory = protocol.memory
+    for addr, owner in protocol.registry.items():
+        l1 = protocol.l1s[owner]
+        state = l1.state_of(addr, touch=False)
+        if state is not DeNovoState.REGISTERED:
+            failures.append(
+                f"word {addr}: registry points at core {owner} but its L1 "
+                f"holds {state}"
+            )
+        else:
+            cached = l1.value_of(addr)
+            latest = memory.read(addr)
+            if cached != latest:
+                failures.append(
+                    f"word {addr}: registered copy at core {owner} is stale "
+                    f"({cached} vs backing store {latest})"
+                )
+    for core_id, l1 in enumerate(protocol.l1s):
+        tracked = l1.tracked_valid_words()
+        for addr, state in l1.words_and_states():
+            if state is DeNovoState.REGISTERED:
+                recorded = protocol.registry.get(addr)
+                if recorded != core_id:
+                    failures.append(
+                        f"word {addr}: core {core_id} holds a Registered "
+                        f"copy but the registry points at {recorded}"
+                    )
+            elif state is DeNovoState.VALID and addr not in tracked:
+                failures.append(
+                    f"word {addr}: Valid at core {core_id} but missing from "
+                    f"its self-invalidation region tracking"
+                )
+    return failures

@@ -26,6 +26,7 @@ from repro.mem.l1 import MesiL1, MesiState
 from repro.mem.regions import Region
 from repro.noc.messages import MessageClass
 from repro.protocols.base import Access, CoherenceProtocol
+from repro.protocols.invariants import mesi_violations
 
 
 @dataclass
@@ -85,9 +86,11 @@ class MesiProtocol(CoherenceProtocol):
     def _insert_line(self, core_id: int, line: int, state: MesiState) -> None:
         """Fill ``line`` into the L1, handling any replacement victim."""
         victim = self.l1s[core_id].insert(line, state)
-        if victim is None:
-            return
-        vline, vstate = victim
+        if victim is not None:
+            self._handle_victim(core_id, *victim)
+
+    def _handle_victim(self, core_id: int, vline: int, vstate: MesiState) -> None:
+        """Directory bookkeeping for a line evicted from ``core_id``'s L1."""
         ventry = self._entry(vline)
         bank = self.amap.home_bank(vline)
         if vstate is MesiState.MODIFIED:
@@ -342,3 +345,57 @@ class MesiProtocol(CoherenceProtocol):
             return False  # copy already invalidated; caller should re-probe
         self._waiters.setdefault(line, []).append((core_id, callback))
         return True
+
+    # -- runtime invariants & diagnostics -------------------------------------
+
+    def invariant_violations(self) -> list[str]:
+        return mesi_violations(self)
+
+    def force_evict(self, core_id: int, line: int) -> bool:
+        """Evict ``line`` from ``core_id``'s L1 as replacement would:
+        writeback if dirty, directory update, and waiter wake-up."""
+        state = self.l1s[core_id].state_of(line, touch=False)
+        if state is None:
+            return False
+        self.l1s[core_id].invalidate(line)
+        self._handle_victim(core_id, line, state)
+        return True
+
+    def debug_resident_lines(self, core_id: int) -> list[int]:
+        return self.l1s[core_id].resident_lines()
+
+    def debug_addr_state(self, addr: int) -> str:
+        line = self.amap.line_of(addr)
+        entry = self._directory.get(line)
+        if entry is None:
+            directory = "no directory entry"
+        else:
+            directory = (
+                f"owner={entry.exclusive_owner} "
+                f"sharers={sorted(entry.sharers)} "
+                f"busy_until={entry.busy_until}"
+            )
+        copies = {
+            core_id: l1.state_of(line, touch=False).value
+            for core_id, l1 in enumerate(self.l1s)
+            if l1.state_of(line, touch=False) is not None
+        }
+        waiters = sorted(core for core, _ in self._waiters.get(line, []))
+        return (
+            f"addr {addr} (line {line}): directory[{directory}] "
+            f"L1 copies={copies or '{}'} subscribed waiters={waiters}"
+        )
+
+    def debug_transients(self) -> list[str]:
+        out = []
+        for line, entry in sorted(self._directory.items()):
+            if entry.busy_until > self.now:
+                out.append(
+                    f"line {line}: directory busy until cycle "
+                    f"{entry.busy_until} (owner={entry.exclusive_owner} "
+                    f"sharers={sorted(entry.sharers)})"
+                )
+        for line, waiters in sorted(self._waiters.items()):
+            cores = sorted(core for core, _ in waiters)
+            out.append(f"line {line}: cores {cores} sleeping on invalidation")
+        return out

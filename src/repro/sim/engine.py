@@ -19,12 +19,16 @@ class Event:
 
     Events compare by (time, seq) so that :class:`Simulator` can keep them
     in a heap; ``cancelled`` events are skipped when popped.
+    ``scheduled_at`` records the cycle at which the event was created, so
+    an exception escaping the callback can be attributed to its
+    scheduling site.
     """
 
     time: int
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    scheduled_at: int = field(default=0, compare=False)
 
     def cancel(self) -> None:
         self.cancelled = True
@@ -45,12 +49,21 @@ class Simulator:
         self._queue: list[Event] = []
         self._seq = 0
         self.now = 0
+        #: Cycle of the most recent *architectural* progress.  Cores stamp
+        #: this every time an operation retires; the liveness watchdog
+        #: (:mod:`repro.sim.watchdog`) compares it against ``now`` to
+        #: detect livelock (events firing, clock advancing, nothing
+        #: retiring).
+        self.progress_cycle = 0
+        #: Optional :class:`~repro.sim.watchdog.Watchdog`; when set,
+        #: :meth:`run` polls it every ``watchdog.check_interval`` events.
+        self.watchdog = None
 
     def schedule_at(self, time: int, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` to fire at absolute cycle ``time``."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
-        event = Event(time=time, seq=self._seq, callback=callback)
+        event = Event(time=time, seq=self._seq, callback=callback, scheduled_at=self.now)
         self._seq += 1
         heapq.heappush(self._queue, event)
         return event
@@ -62,13 +75,27 @@ class Simulator:
         return self.schedule_at(self.now + delay, callback)
 
     def step(self) -> bool:
-        """Fire the next pending event; return False when the queue is empty."""
+        """Fire the next pending event; return False when the queue is empty.
+
+        An exception escaping the callback propagates unchanged (same
+        type, same traceback) but is annotated — PEP 678 ``add_note`` —
+        with the event's firing cycle, sequence number, and the cycle at
+        which it was scheduled, so a protocol bug deep in a callback can
+        be attributed to its scheduling site.
+        """
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
             self.now = event.time
-            event.callback()
+            try:
+                event.callback()
+            except Exception as exc:
+                exc.add_note(
+                    f"[sim] while firing event seq={event.seq} at cycle "
+                    f"{event.time} (scheduled at cycle {event.scheduled_at})"
+                )
+                raise
             return True
         return False
 
@@ -87,6 +114,8 @@ class Simulator:
         and raises without touching the clock.
         """
         fired = 0
+        watchdog = self.watchdog
+        check_interval = watchdog.check_interval if watchdog is not None else 0
         while self._queue:
             head = self._queue[0]
             if head.cancelled:
@@ -100,6 +129,8 @@ class Simulator:
                 )
             self.step()
             fired += 1
+            if watchdog is not None and fired % check_interval == 0:
+                watchdog.check()
         if until is not None and until > self.now:
             self.now = until
         return fired

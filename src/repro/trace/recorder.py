@@ -65,6 +65,21 @@ class TracingProtocol:
     def on_acquire(self, core_id: int, addr: int) -> None:
         self.inner.on_acquire(core_id, addr)
 
+    def check_invariants(self) -> None:
+        self.inner.check_invariants()
+
+    def invariant_violations(self) -> list[str]:
+        return self.inner.invariant_violations()
+
+    def force_evict(self, core_id: int, line: int) -> bool:
+        return self.inner.force_evict(core_id, line)
+
+    def debug_resident_lines(self, core_id: int) -> list[int]:
+        return self.inner.debug_resident_lines(core_id)
+
+    def debug_addr_state(self, addr: int) -> str:
+        return self.inner.debug_addr_state(addr)
+
     # -- recorded operations -------------------------------------------------
 
     def load(

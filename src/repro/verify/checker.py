@@ -200,7 +200,9 @@ def check_protocol_state(protocol) -> list[str]:
     def fail(message):
         failures.append(message)
 
-    inner = getattr(protocol, "inner", protocol)  # unwrap TracingProtocol
+    inner = protocol
+    while hasattr(inner, "inner"):  # unwrap TracingProtocol / FaultInjector
+        inner = inner.inner
     if isinstance(inner, DeNovoBaseProtocol):
         for addr, owner in inner.registry.items():
             for core_id, l1 in enumerate(inner.l1s):
