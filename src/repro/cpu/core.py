@@ -35,6 +35,12 @@ from repro.stats.timeparts import TimeBreakdown, TimeComponent
 #: Cycles of loop overhead between consecutive spin probes (branch + test).
 SPIN_LOOP_OVERHEAD = 1
 
+#: Operations that are *visible* to a schedule controller: each issue is
+#: a decision point when ``sim.controller`` is set.  ``WaitLoad`` is
+#: gated per probe in :meth:`Core._spin_probe` instead, so every probe of
+#: a spin loop is its own decision point.
+GATED_OPS = (isa.Load, isa.Store, isa.Cas, isa.Fai, isa.Swap, isa.SelfInvalidate)
+
 
 class Core:
     """One in-order core executing one thread program."""
@@ -53,6 +59,9 @@ class Core:
         self.pending_op = None
         self.wait_reason: Optional[str] = None
         self.blocked_since = 0
+        # One-shot token set by ScheduleController.release: lets the
+        # parked continuation pass the gate exactly once.
+        self._release_granted = False
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -108,7 +117,29 @@ class Core:
     def _resume_after(self, delay: int, value=None) -> None:
         self.sim.schedule_after(delay, lambda: self._step(value))
 
+    def _gate(self, op, cont) -> bool:
+        """Park at a scheduling decision point; True if parked.
+
+        With ``sim.controller`` set, a visible operation does not issue on
+        its own: the core hands the controller a continuation and goes
+        quiet.  :meth:`ScheduleController.release` grants a one-shot token
+        and reschedules ``cont``, which then passes this gate and issues.
+        Without a controller this is one attribute test.
+        """
+        controller = self.sim.controller
+        if controller is None:
+            return False
+        if self._release_granted:
+            self._release_granted = False
+            return False
+        self.wait_reason = "schedule-gate"
+        self.blocked_since = self.sim.now
+        controller.arrive(self, op, cont)
+        return True
+
     def _dispatch(self, op) -> None:
+        if isinstance(op, GATED_OPS) and self._gate(op, lambda: self._dispatch(op)):
+            return
         self.protocol.set_time(self.sim.now)
         if isinstance(op, isa.Compute):
             self.wait_reason = "compute"
@@ -227,6 +258,8 @@ class Core:
 
     def _spin_probe(self, op: isa.WaitLoad) -> None:
         """One probe of a spin-wait; reschedules itself until ``pred`` holds."""
+        if self._gate(op, lambda: self._spin_probe(op)):
+            return
         self.protocol.set_time(self.sim.now)
         if op.sync:
             backoff = self.protocol.sync_read_backoff(

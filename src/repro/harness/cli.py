@@ -157,6 +157,56 @@ def _run_chaos(args) -> int:
     return 1 if failures else 0
 
 
+def _run_mc(args) -> int:
+    """The ``mc`` target: exhaustive interleaving exploration (DPOR +
+    preemption bounding) of the litmus corpus, or counterexample replay."""
+    from repro.harness.parallel import run_tasks
+    from repro.mc.cells import McCell, run_cell
+    from repro.mc.litmus import CORPUS
+
+    if args.replay is not None:
+        from repro.mc.artifact import replay_counterexample
+
+        payload, report = replay_counterexample(args.replay)
+        violation = payload["violation"]
+        print(
+            f"replaying {payload['test']} under {payload['protocol']} "
+            f"({len(payload['schedule'])} choices): "
+            f"[{violation['kind']}] {violation['message']}"
+        )
+        print(f"  {report.describe()}")
+        return 0 if (report.reproduced and report.trace_identical) else 1
+
+    names = args.litmus or sorted(CORPUS)
+    unknown = [name for name in names if name not in CORPUS]
+    if unknown:
+        raise SystemExit(
+            f"unknown litmus test(s) {unknown}; available: {sorted(CORPUS)}"
+        )
+    cells = [
+        McCell(
+            test_name=name,
+            protocol=protocol,
+            bound=args.bound,
+            max_schedules=args.max_schedules,
+            out_dir=args.mc_out,
+        )
+        for name in names
+        for protocol in args.protocols
+    ]
+    outcomes = run_tasks(run_cell, cells, jobs=args.jobs)
+    violations = 0
+    for outcome in outcomes:
+        print(outcome.describe())
+        violations += not outcome.ok
+    print(
+        f"mc: {len(outcomes) - violations}/{len(outcomes)} cells clean "
+        f"(preemption bound {args.bound}, "
+        f"{len(names)} tests x {len(args.protocols)} protocols)"
+    )
+    return 1 if violations else 0
+
+
 def _run_single(args) -> int:
     """The ``run`` target: one workload, one protocol, full detail."""
     from repro.config import config_for_cores
@@ -244,7 +294,9 @@ def main(argv: list[str] | None = None) -> int:
         prog="denovosync-bench",
         description="Regenerate the DeNovoSync (ASPLOS'15) evaluation figures.",
     )
-    parser.add_argument("target", choices=ALL_TARGETS + ["all", "run", "chaos"])
+    parser.add_argument(
+        "target", choices=ALL_TARGETS + ["all", "run", "chaos", "mc"]
+    )
     parser.add_argument(
         "--workload", default=None,
         help="for 'run': family/name, e.g. tatas/counter, nonblocking/"
@@ -307,6 +359,35 @@ def main(argv: list[str] | None = None) -> int:
         help="for 'run': random evictions attempted per storm",
     )
     parser.add_argument(
+        "--bound", type=int, default=2,
+        help="for 'mc': preemption bound (CHESS-style; -1 = unbounded)",
+    )
+    parser.add_argument(
+        "--litmus", nargs="+", default=None,
+        help="for 'mc': litmus tests to explore (default: the whole corpus)",
+    )
+    parser.add_argument(
+        "--protocols", nargs="+",
+        default=["MESI", "DeNovoSync0", "DeNovoSync"],
+        help="for 'mc': protocols to explore (default: MESI DeNovoSync0 "
+        "DeNovoSync)",
+    )
+    parser.add_argument(
+        "--max-schedules", type=int, default=20_000,
+        help="for 'mc': truncate exploration of a cell after this many "
+        "schedules (reported as [truncated])",
+    )
+    parser.add_argument(
+        "--replay", default=None,
+        help="for 'mc': replay a counterexample artifact (.json) and "
+        "verify it reproduces deterministically",
+    )
+    parser.add_argument(
+        "--mc-out", default=os.path.join("results", "mc"),
+        help="for 'mc': directory for counterexample artifacts "
+        "(default: results/mc)",
+    )
+    parser.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for figure sweeps: 1 = serial (default), "
         "N = fan cells out to N processes, 0 = all host cores; results "
@@ -340,6 +421,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_single(args)
     if args.target == "chaos":
         return _run_chaos(args)
+    if args.target == "mc":
+        if args.bound is not None and args.bound < 0:
+            args.bound = None  # -1: unbounded exploration
+        return _run_mc(args)
 
     targets = ALL_TARGETS if args.target == "all" else [args.target]
     for target in targets:

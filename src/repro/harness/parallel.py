@@ -307,6 +307,22 @@ def run_specs(
     return results  # type: ignore[return-value]
 
 
+def run_tasks(fn, calls: Iterable, *, jobs: int = 1) -> list:
+    """Generic fan-out: ``[fn(call) for call in calls]`` with the same
+    execution contract as :func:`run_specs` — ``jobs=1`` runs in-process,
+    ``jobs>1`` uses a process pool (``fn`` and every call must pickle),
+    and results always come back in submission order.  Used by sweeps
+    whose cells are not :class:`RunSpec`-shaped (e.g. the model checker's
+    litmus × protocol cells)."""
+    calls = list(calls)
+    jobs = resolve_jobs(jobs)
+    if jobs > 1 and len(calls) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(calls))) as pool:
+            futures = [pool.submit(fn, call) for call in calls]
+            return [future.result() for future in futures]
+    return [fn(call) for call in calls]
+
+
 def default_cache(cache_dir: Optional[str] = None) -> ResultCache:
     """The CLI's cache: ``--cache-dir``, else ``$REPRO_CACHE_DIR``, else
     ``results/.runcache`` under the working directory."""

@@ -1,0 +1,34 @@
+"""Model checking: exhaustive interleaving exploration for the protocols.
+
+The subsystem runs small litmus workloads (:mod:`repro.mc.litmus`) under
+*controlled* scheduling: with ``Simulator.controller`` set, every core
+parks at each visible memory-operation boundary and a
+:class:`~repro.mc.controller.ScheduleController` decides which core
+issues next.  The exploration driver (:mod:`repro.mc.explorer`) performs
+a stateless DFS over schedules with dynamic partial-order reduction
+(persistent/sleep sets keyed on cache-line conflicts) and CHESS-style
+iterative preemption bounding; safety oracles (:mod:`repro.mc.oracle`)
+check runtime coherence invariants, per-execution conformance against an
+interpreter-computed sequentially-consistent reference, final memory,
+and each litmus test's postcondition.  On violation the failing schedule
+is minimized (:mod:`repro.mc.minimize`) and exported as a replayable
+artifact (:mod:`repro.mc.artifact`).
+"""
+
+from repro.mc.controller import ScheduleController
+from repro.mc.explorer import ExploreResult, explore, explore_iterative
+from repro.mc.litmus import CORPUS, LitmusTest
+from repro.mc.runner import Execution, McOptions, Violation, run_schedule
+
+__all__ = [
+    "CORPUS",
+    "Execution",
+    "ExploreResult",
+    "LitmusTest",
+    "McOptions",
+    "ScheduleController",
+    "Violation",
+    "explore",
+    "explore_iterative",
+    "run_schedule",
+]

@@ -1,0 +1,408 @@
+"""The litmus-test corpus: small racy workloads for the model checker.
+
+Each test builds 2–4 active threads over a handful of addresses — small
+enough that the explorer can enumerate every interleaving within a
+preemption bound, racy enough to exercise the protocol corners the paper
+cares about: message passing through a flag, store buffering, CAS races,
+lock handoff, barrier sense reversal, and Treiber push/pop.  Tests reuse
+the real synchronization library (:mod:`repro.synclib`), so the checker
+exercises the same op sequences the figures run at scale.
+
+Every test declares a *postcondition* over final memory.  The checker
+also verifies each execution against an interpreter-computed reference
+(:mod:`repro.mc.oracle`), so postconditions only need to pin down the
+program-level outcome (e.g. "both payload words observed as written").
+
+``evict_targets`` lists ``(core, addr)`` pairs whose cache line the
+explorer may evict as an *environment action* at any decision point
+(budgeted by ``evict_budget``).  Evictions are how the PR-1 class of
+bugs — dropping a sleeping spin-waiter's subscription on eviction — is
+reachable at all: the waiter itself makes no accesses while asleep.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Generator
+
+from repro.config import SystemConfig
+from repro.cpu.isa import Cas, Compute, Fai, Load, SelfInvalidate, Store, Swap, WaitLoad
+from repro.cpu.thread import ThreadCtx
+from repro.mem.address import AddressMap
+from repro.mem.regions import RegionAllocator
+from repro.synclib.barriers import CentralBarrier
+from repro.synclib.tatas import TatasLock
+from repro.synclib.treiber import TreiberStack
+
+#: Every litmus config uses this many cores (`config_for_cores` needs a
+#: perfect square); tests with fewer threads leave the rest idle.
+LITMUS_CORES = 4
+
+
+def _idle() -> Generator:
+    """A program that finishes immediately (filler for unused cores)."""
+    return
+    yield  # pragma: no cover — makes this a generator function
+
+
+def _ctx(core_id: int, config: SystemConfig, allocator: RegionAllocator) -> ThreadCtx:
+    """A deterministic ThreadCtx for synclib generators (RNG never drawn:
+    litmus tests disable software backoff)."""
+    return ThreadCtx(
+        core_id=core_id,
+        num_cores=config.num_cores,
+        config=config,
+        allocator=allocator,
+        rng=random.Random(0),
+    )
+
+
+@dataclass
+class LitmusInstance:
+    """One built litmus test, ready for controlled execution."""
+
+    name: str
+    allocator: RegionAllocator
+    programs: list[Generator]
+    initial_values: dict[int, int] = field(default_factory=dict)
+    #: Named addresses, for diagnostics and postconditions.
+    addrs: dict[str, int] = field(default_factory=dict)
+    #: Checked against final memory; returns failure descriptions.
+    postcondition: Callable[[dict[int, int]], list[str]] = lambda mem: []
+    #: (core, cache line) pairs the explorer may force-evict.
+    evict_targets: tuple[tuple[int, int], ...] = ()
+    evict_budget: int = 0
+
+    @property
+    def footprint(self) -> list[int]:
+        """Every allocated word address (the final-memory check domain)."""
+        return [addr for alloc in self.allocator.allocations for addr in alloc]
+
+
+class LitmusTest:
+    """A named, buildable litmus test."""
+
+    name = "abstract"
+    num_cores = LITMUS_CORES
+    description = ""
+
+    def build(self, config: SystemConfig) -> LitmusInstance:
+        raise NotImplementedError
+
+
+class MessagePassing(LitmusTest):
+    """Core 0 writes a two-word payload then raises a flag with release;
+    core 1 spin-waits on the flag with acquire, self-invalidates the
+    payload region, and must observe both payload words as written."""
+
+    name = "mp"
+    description = "message passing through a release/acquire flag"
+
+    def __init__(self, with_eviction: bool = False):
+        self.with_eviction = with_eviction
+        if with_eviction:
+            self.name = "mp+evict"
+            self.description += " (flag-line eviction as environment action)"
+
+    def build(self, config: SystemConfig) -> LitmusInstance:
+        allocator = RegionAllocator(AddressMap(config))
+        data = allocator.alloc("mp.data", 2, line_align=True)
+        data_region = data.region
+        flag = allocator.alloc_sync("mp.flag").base
+        res = allocator.alloc("mp.res", 2, line_align=True)
+
+        def writer():
+            yield Store(data.base, 41)
+            yield Store(data.base + 1, 42)
+            yield Store(flag, 1, sync=True, release=True)
+
+        def reader():
+            yield WaitLoad(flag, lambda v: v == 1, sync=True, acquire=True)
+            yield SelfInvalidate((data_region,))
+            a = yield Load(data.base)
+            b = yield Load(data.base + 1)
+            yield Store(res.base, a)
+            yield Store(res.base + 1, b)
+
+        def post(mem: dict[int, int]) -> list[str]:
+            failures = []
+            if mem[res.base] != 41 or mem[res.base + 1] != 42:
+                failures.append(
+                    f"reader observed payload ({mem[res.base]}, "
+                    f"{mem[res.base + 1]}), expected (41, 42): stale read "
+                    f"after acquire"
+                )
+            return failures
+
+        programs = [writer(), reader()]
+        programs += [_idle() for _ in range(config.num_cores - 2)]
+        evict_targets: tuple[tuple[int, int], ...] = ()
+        evict_budget = 0
+        if self.with_eviction:
+            # The reader's copy of the flag line — the line it subscribes
+            # to while spin-sleeping.
+            evict_targets = ((1, allocator.amap.line_of(flag)),)
+            evict_budget = 1
+        return LitmusInstance(
+            name=self.name,
+            allocator=allocator,
+            programs=programs,
+            addrs={"flag": flag, "d0": data.base, "d1": data.base + 1,
+                   "r0": res.base, "r1": res.base + 1},
+            postcondition=post,
+            evict_targets=evict_targets,
+            evict_budget=evict_budget,
+        )
+
+
+class StoreBuffering(LitmusTest):
+    """The classic SB shape, two rounds: each core sync-stores its own
+    word then sync-loads the other's.  Under a sequentially consistent
+    memory at least one core per round must observe the other's store."""
+
+    name = "sb"
+    description = "store buffering: both-loads-zero is forbidden under SC"
+
+    def build(self, config: SystemConfig) -> LitmusInstance:
+        allocator = RegionAllocator(AddressMap(config))
+        x = allocator.alloc_sync("sb.x").base
+        y = allocator.alloc_sync("sb.y").base
+        res = [allocator.alloc(f"sb.res{i}", 2, line_align=True) for i in range(2)]
+
+        def worker(me: int, mine: int, other: int):
+            for round_no in range(2):
+                yield Store(mine, round_no + 1, sync=True)
+                seen = yield Load(other, sync=True)
+                yield Store(res[me].base + round_no, seen)
+
+        def post(mem: dict[int, int]) -> list[str]:
+            failures = []
+            for round_no in range(2):
+                a = mem[res[0].base + round_no]
+                b = mem[res[1].base + round_no]
+                if a < round_no and b < round_no:
+                    failures.append(
+                        f"round {round_no}: both cores read pre-round values "
+                        f"({a}, {b}) — store buffering is forbidden under SC"
+                    )
+            if mem[x] != 2 or mem[y] != 2:
+                failures.append(f"final x={mem[x]} y={mem[y]}, expected 2/2")
+            return failures
+
+        programs = [worker(0, x, y), worker(1, y, x)]
+        programs += [_idle() for _ in range(config.num_cores - 2)]
+        return LitmusInstance(
+            name=self.name,
+            allocator=allocator,
+            programs=programs,
+            addrs={"x": x, "y": y},
+            postcondition=post,
+        )
+
+
+class CasRace(LitmusTest):
+    """Three cores race a CAS on one word (exactly one must win) and a
+    fetch-and-increment counter (observed pre-values must be a
+    permutation of 0..2 and the final count exact)."""
+
+    name = "cas"
+    description = "3-way CAS race + FAI counter atomicity"
+
+    def build(self, config: SystemConfig) -> LitmusInstance:
+        allocator = RegionAllocator(AddressMap(config))
+        winner = allocator.alloc_sync("cas.winner").base
+        counter = allocator.alloc_sync("cas.counter").base
+        res = [allocator.alloc(f"cas.res{i}", 2, line_align=True) for i in range(3)]
+
+        def worker(me: int):
+            old = yield Cas(winner, 0, me + 1)
+            yield Store(res[me].base, 1 if old == 0 else 0)
+            seen = yield Fai(counter)
+            yield Store(res[me].base + 1, seen)
+
+        def post(mem: dict[int, int]) -> list[str]:
+            failures = []
+            wins = [mem[res[i].base] for i in range(3)]
+            if sum(wins) != 1:
+                failures.append(f"CAS winners {wins}: exactly one must win")
+            if mem[winner] not in (1, 2, 3):
+                failures.append(f"winner word holds {mem[winner]}")
+            if mem[counter] != 3:
+                failures.append(f"counter {mem[counter]} != 3: lost increment")
+            seen = sorted(mem[res[i].base + 1] for i in range(3))
+            if seen != [0, 1, 2]:
+                failures.append(f"FAI pre-values {seen} != [0, 1, 2]")
+            return failures
+
+        programs = [worker(0), worker(1), worker(2)]
+        programs += [_idle() for _ in range(config.num_cores - 3)]
+        return LitmusInstance(
+            name=self.name,
+            allocator=allocator,
+            programs=programs,
+            addrs={"winner": winner, "counter": counter},
+            postcondition=post,
+        )
+
+
+class LockHandoff(LitmusTest):
+    """Two cores take a TATAS lock twice each and increment a protected
+    data counter inside the critical section; mutual exclusion and
+    release/acquire visibility make the final count exact."""
+
+    name = "lock"
+    description = "TATAS lock handoff guarding a data counter"
+
+    ITERATIONS = 2
+
+    def build(self, config: SystemConfig) -> LitmusInstance:
+        allocator = RegionAllocator(AddressMap(config))
+        lock = TatasLock(allocator, name="lock.tatas", software_backoff=False)
+        count_alloc = allocator.alloc("lock.data", 1, line_align=True)
+        count = count_alloc.base
+        data_region = count_alloc.region
+
+        def worker(me: int):
+            for _ in range(self.ITERATIONS):
+                yield from lock.acquire()
+                yield SelfInvalidate((data_region,))
+                value = yield Load(count)
+                yield Store(count, value + 1)
+                yield from lock.release()
+
+        def post(mem: dict[int, int]) -> list[str]:
+            failures = []
+            expected = 2 * self.ITERATIONS
+            if mem[count] != expected:
+                failures.append(
+                    f"counter {mem[count]} != {expected}: lost update under "
+                    f"the lock (mutual-exclusion or visibility failure)"
+                )
+            if mem[lock.addr] != 0:
+                failures.append(f"lock still held ({mem[lock.addr]}) at exit")
+            return failures
+
+        programs = [worker(0), worker(1)]
+        programs += [_idle() for _ in range(config.num_cores - 2)]
+        return LitmusInstance(
+            name=self.name,
+            allocator=allocator,
+            programs=programs,
+            addrs={"lock": lock.addr, "count": count},
+            postcondition=post,
+        )
+
+
+class BarrierSenseReversal(LitmusTest):
+    """Two cores cross a centralized sense-reversing barrier twice, each
+    publishing a data word before the first crossing and reading the
+    other's after it."""
+
+    name = "barrier"
+    description = "central sense-reversing barrier, two episodes"
+
+    def build(self, config: SystemConfig) -> LitmusInstance:
+        allocator = RegionAllocator(AddressMap(config))
+        barrier = CentralBarrier(allocator, 2, name="bar")
+        slots = [allocator.alloc(f"bar.slot{i}", 1, line_align=True)
+                 for i in range(2)]
+        res = [allocator.alloc(f"bar.res{i}", 1, line_align=True).base
+               for i in range(2)]
+
+        def worker(me: int):
+            ctx = _ctx(me, config, allocator)
+            yield Store(slots[me].base, 10 + me)
+            yield from barrier.wait(ctx, 1)
+            yield SelfInvalidate((slots[0].region, slots[1].region))
+            seen = yield Load(slots[1 - me].base)
+            yield Store(res[me], seen)
+            yield from barrier.wait(ctx, 2)
+
+        def post(mem: dict[int, int]) -> list[str]:
+            failures = []
+            if mem[res[0]] != 11 or mem[res[1]] != 10:
+                failures.append(
+                    f"post-barrier reads ({mem[res[0]]}, {mem[res[1]]}), "
+                    f"expected (11, 10): write not visible across barrier"
+                )
+            if mem[barrier.count] != 0:
+                failures.append(f"barrier count {mem[barrier.count]} != 0")
+            if mem[barrier.sense] != 2:
+                failures.append(f"barrier sense {mem[barrier.sense]} != 2")
+            return failures
+
+        programs = [worker(0), worker(1)]
+        programs += [_idle() for _ in range(config.num_cores - 2)]
+        return LitmusInstance(
+            name=self.name,
+            allocator=allocator,
+            programs=programs,
+            addrs={"count": barrier.count, "sense": barrier.sense},
+            postcondition=post,
+        )
+
+
+class TreiberPushPop(LitmusTest):
+    """Two cores each push one value onto a shared Treiber stack and pop
+    once; lock-freedom and CAS linearization make the stack empty at the
+    end with the popped values a permutation of the pushed ones."""
+
+    name = "treiber"
+    description = "Treiber stack concurrent push/pop"
+
+    def build(self, config: SystemConfig) -> LitmusInstance:
+        allocator = RegionAllocator(AddressMap(config))
+        stack = TreiberStack(
+            allocator, nodes_per_thread=1, nthreads=2, name="tr",
+            software_backoff=False,
+        )
+        res = [allocator.alloc(f"tr.res{i}", 1, line_align=True).base
+               for i in range(2)]
+
+        def worker(me: int):
+            ctx = _ctx(me, config, allocator)
+            yield from stack.push(ctx, 100 + me)
+            value = yield from stack.pop(ctx)
+            yield Store(res[me], value if value is not None else -1)
+
+        def post(mem: dict[int, int]) -> list[str]:
+            failures = []
+            if mem[stack.top] != 0:
+                failures.append(
+                    f"stack not empty at exit (top={mem[stack.top]})"
+                )
+            popped = sorted(mem[r] for r in res)
+            if popped != [100, 101]:
+                failures.append(
+                    f"popped values {popped} != [100, 101] (lost or "
+                    f"duplicated node)"
+                )
+            return failures
+
+        programs = [worker(0), worker(1)]
+        programs += [_idle() for _ in range(config.num_cores - 2)]
+        return LitmusInstance(
+            name=self.name,
+            allocator=allocator,
+            programs=programs,
+            addrs={"top": stack.top},
+            postcondition=post,
+        )
+
+
+def _corpus() -> dict[str, LitmusTest]:
+    tests = [
+        MessagePassing(),
+        MessagePassing(with_eviction=True),
+        StoreBuffering(),
+        CasRace(),
+        LockHandoff(),
+        BarrierSenseReversal(),
+        TreiberPushPop(),
+    ]
+    return {test.name: test for test in tests}
+
+
+#: The litmus corpus, keyed by test name.
+CORPUS: dict[str, LitmusTest] = _corpus()

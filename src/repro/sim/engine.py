@@ -21,7 +21,8 @@ class Event:
     in a heap; ``cancelled`` events are skipped when popped.
     ``scheduled_at`` records the cycle at which the event was created, so
     an exception escaping the callback can be attributed to its
-    scheduling site.
+    scheduling site.  ``owner`` is the scheduling :class:`Simulator`, so a
+    cancel can maintain the simulator's live-event counter.
     """
 
     time: int
@@ -29,9 +30,14 @@ class Event:
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
     scheduled_at: int = field(default=0, compare=False)
+    owner: Optional["Simulator"] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.owner is not None:
+            self.owner._event_cancelled()
 
 
 class Simulator:
@@ -45,9 +51,14 @@ class Simulator:
     [10]
     """
 
+    #: Compact the heap when it holds at least this many entries and
+    #: cancelled entries outnumber live ones (see :meth:`_event_cancelled`).
+    COMPACT_MIN_SIZE = 64
+
     def __init__(self) -> None:
         self._queue: list[Event] = []
         self._seq = 0
+        self._live = 0  # non-cancelled events still in the heap
         self.now = 0
         #: Cycle of the most recent *architectural* progress.  Cores stamp
         #: this every time an operation retires; the liveness watchdog
@@ -58,15 +69,42 @@ class Simulator:
         #: Optional :class:`~repro.sim.watchdog.Watchdog`; when set,
         #: :meth:`run` polls it every ``watchdog.check_interval`` events.
         self.watchdog = None
+        #: Optional :class:`~repro.mc.controller.ScheduleController`.  When
+        #: set, every :class:`~repro.cpu.core.Core` *gates* at each visible
+        #: memory-operation boundary: instead of issuing the operation it
+        #: parks a continuation with the controller and waits to be
+        #: released.  The model checker uses this to serialize and choose
+        #: the interleaving of visible operations; normal runs leave it
+        #: None and pay one attribute test per operation.
+        self.controller = None
 
     def schedule_at(self, time: int, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` to fire at absolute cycle ``time``."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
-        event = Event(time=time, seq=self._seq, callback=callback, scheduled_at=self.now)
+        event = Event(
+            time=time, seq=self._seq, callback=callback, scheduled_at=self.now,
+            owner=self,
+        )
         self._seq += 1
         heapq.heappush(self._queue, event)
+        self._live += 1
         return event
+
+    def _event_cancelled(self) -> None:
+        """Maintain the live counter on cancel; compact a mostly-dead heap.
+
+        The exploration driver cancels heavily, so the heap is rebuilt
+        from the survivors once cancelled entries outnumber live ones
+        (amortized O(1) per cancel).
+        """
+        self._live -= 1
+        if (
+            len(self._queue) >= self.COMPACT_MIN_SIZE
+            and self._live * 2 < len(self._queue)
+        ):
+            self._queue = [e for e in self._queue if not e.cancelled]
+            heapq.heapify(self._queue)
 
     def schedule_after(self, delay: int, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` to fire ``delay`` cycles from now."""
@@ -87,6 +125,7 @@ class Simulator:
             event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
+            self._live -= 1
             self.now = event.time
             try:
                 event.callback()
@@ -137,4 +176,5 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of live (non-cancelled) scheduled events — O(1)."""
+        return self._live

@@ -1,9 +1,21 @@
-"""Trace records and their on-disk (JSONL) format."""
+"""Trace records and their on-disk (JSONL) format.
+
+Trace files start with a header line ``{"trace_format": N}`` so readers
+can tell versions apart; records follow, one JSON object per line.
+Version 2 added the ``acquire`` field.  :meth:`AccessRecord.from_json`
+ignores unknown keys, so traces written by newer code (with extra
+fields) stay readable by older readers and vice versa.
+"""
 
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, fields
+
+#: Current on-disk trace format version.  History:
+#: 1 — headerless JSONL (the original format; still readable);
+#: 2 — header line + ``acquire`` field on records.
+TRACE_FORMAT_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -11,10 +23,12 @@ class AccessRecord:
     """One memory access as observed at the protocol boundary.
 
     ``kind`` is one of ``load``, ``store``, ``rmw``, ``selfinv``.
-    ``value`` is the loaded/old value (stores record the written value).
-    ``latency`` and ``hit`` describe the outcome under the traced
-    protocol; replay ignores them (the replayed protocol produces its
-    own).
+    ``value`` is the loaded/old value (stores record the written value,
+    RMWs the post-RMW value).  ``latency`` and ``hit`` describe the
+    outcome under the traced protocol; replay ignores them (the replayed
+    protocol produces its own).  ``acquire`` marks acquire semantics —
+    under DeNovo an acquire drives self-invalidation, so replay must
+    preserve it.
     """
 
     cycle: int
@@ -23,6 +37,7 @@ class AccessRecord:
     addr: int
     sync: bool = False
     release: bool = False
+    acquire: bool = False
     value: int = 0
     latency: int = 0
     hit: bool = False
@@ -32,13 +47,17 @@ class AccessRecord:
 
     @staticmethod
     def from_json(line: str) -> "AccessRecord":
-        return AccessRecord(**json.loads(line))
+        data = json.loads(line)
+        known = {f.name for f in fields(AccessRecord)}
+        return AccessRecord(**{k: v for k, v in data.items() if k in known})
 
 
 def write_trace(records, path) -> int:
-    """Write records to a JSONL file; returns the count written."""
+    """Write records to a versioned JSONL file; returns the count written."""
     count = 0
     with open(path, "w") as fh:
+        fh.write(json.dumps({"trace_format": TRACE_FORMAT_VERSION}))
+        fh.write("\n")
         for record in records:
             fh.write(record.to_json())
             fh.write("\n")
@@ -47,11 +66,20 @@ def write_trace(records, path) -> int:
 
 
 def read_trace(path) -> list[AccessRecord]:
-    """Read a JSONL trace file."""
+    """Read a JSONL trace file (with or without a version header)."""
     records = []
     with open(path) as fh:
-        for line in fh:
+        for index, line in enumerate(fh):
             line = line.strip()
-            if line:
-                records.append(AccessRecord.from_json(line))
+            if not line:
+                continue
+            if index == 0:
+                header = json.loads(line)
+                if isinstance(header, dict) and "trace_format" in header:
+                    version = header["trace_format"]
+                    if not isinstance(version, int) or version < 1:
+                        raise ValueError(f"bad trace_format header: {version!r}")
+                    continue  # versioned file: header consumed
+                # Headerless version-1 file: the first line is a record.
+            records.append(AccessRecord.from_json(line))
     return records

@@ -9,6 +9,7 @@ recorded — they are re-issues of the same access).
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable, Optional
 
 from repro.mem.regions import Region
@@ -64,6 +65,18 @@ class TracingProtocol:
 
     def on_acquire(self, core_id: int, addr: int) -> None:
         self.inner.on_acquire(core_id, addr)
+        # Cores call this right after the access that won the acquire (a
+        # successful spin probe): stamp that record so replay preserves
+        # the acquire point.  Failed probes of the same spin stay plain
+        # loads — the acquire only happens once.
+        for i in range(len(self.records) - 1, -1, -1):
+            record = self.records[i]
+            if record.core != core_id:
+                continue
+            if record.addr == addr and record.kind in ("load", "rmw"):
+                if not record.acquire:
+                    self.records[i] = replace(record, acquire=True)
+            break
 
     def check_invariants(self) -> None:
         self.inner.check_invariants()
@@ -94,7 +107,7 @@ class TracingProtocol:
             core_id, addr, sync=sync, ticketed=ticketed, acquire=acquire
         )
         if not access.retry:
-            self._record("load", core_id, addr, sync, False, access)
+            self._record("load", core_id, addr, sync, False, access, acquire=acquire)
         return access
 
     def store(
@@ -129,7 +142,7 @@ class TracingProtocol:
             # Record the post-RMW value so replay can pin the outcome.
             self._record(
                 "rmw", core_id, addr, True, release, access,
-                value=self.inner.memory.read(addr),
+                value=self.inner.memory.read(addr), acquire=acquire,
             )
         return access
 
@@ -149,7 +162,8 @@ class TracingProtocol:
         return latency
 
     def _record(
-        self, kind, core_id, addr, sync, release, access: Access, value=None
+        self, kind, core_id, addr, sync, release, access: Access, value=None,
+        acquire=False,
     ) -> None:
         self.records.append(
             AccessRecord(
@@ -159,6 +173,7 @@ class TracingProtocol:
                 addr=addr,
                 sync=sync,
                 release=release,
+                acquire=acquire,
                 value=access.value if value is None else value,
                 latency=access.latency,
                 hit=access.hit,

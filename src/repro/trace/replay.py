@@ -75,10 +75,13 @@ class TraceReplayWorkload(Workload):
                     yield Compute(gap - 1)
             previous_cycle = record.cycle
             if record.kind == "load":
-                yield Load(record.addr, sync=record.sync)
+                yield Load(record.addr, sync=record.sync, acquire=record.acquire)
             elif record.kind == "store":
                 yield Store(
                     record.addr, record.value, sync=record.sync, release=record.release
                 )
             else:  # rmw: pin the recorded outcome
-                yield Swap(record.addr, record.value, release=record.release)
+                yield Swap(
+                    record.addr, record.value, release=record.release,
+                    acquire=record.acquire,
+                )

@@ -69,6 +69,66 @@ class TestCancellation:
         assert sim.pending_events == 1
 
 
+class TestPendingEventsCounter:
+    """``pending_events`` is a live counter (O(1)), with heap compaction
+    once cancelled events dominate the queue."""
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        event = sim.schedule_at(10, lambda: None)
+        sim.schedule_at(20, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending_events == 1
+
+    def test_counter_tracks_fired_events(self):
+        sim = Simulator()
+        for t in range(5):
+            sim.schedule_at(t, lambda: None)
+        assert sim.pending_events == 5
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_counter_with_mixed_cancel_and_fire(self):
+        sim = Simulator()
+        events = [sim.schedule_at(t, lambda: None) for t in range(10)]
+        for event in events[::2]:
+            event.cancel()
+        assert sim.pending_events == 5
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_compaction_shrinks_queue(self):
+        sim = Simulator()
+        keep = sim.schedule_at(1000, lambda: None)
+        doomed = [
+            sim.schedule_at(10 + t, lambda: None)
+            for t in range(sim.COMPACT_MIN_SIZE * 2)
+        ]
+        for event in doomed:
+            event.cancel()
+        # Cancelled events dominate: compaction must have kept the queue
+        # from retaining every tombstone (it shrinks whenever live
+        # entries fall below half of a COMPACT_MIN_SIZE-or-larger heap).
+        assert sim.pending_events == 1
+        assert len(sim._queue) < sim.COMPACT_MIN_SIZE
+        assert not keep.cancelled
+        fired = []
+        sim.schedule_at(1001, lambda: fired.append(1))
+        sim.run()
+        assert fired == [1]
+
+    def test_small_queues_are_not_compacted(self):
+        sim = Simulator()
+        events = [sim.schedule_at(10 + t, lambda: None) for t in range(4)]
+        for event in events[:3]:
+            event.cancel()
+        # Below COMPACT_MIN_SIZE the tombstones stay (compaction would
+        # cost more than it saves) but the counter is still exact.
+        assert sim.pending_events == 1
+        assert len(sim._queue) == 4
+
+
 class TestRunLimits:
     def test_until_stops_before_later_events(self):
         sim = Simulator()

@@ -67,6 +67,86 @@ class TestPersistence:
         assert AccessRecord.from_json(record.to_json()) == record
 
 
+class TestFormatVersioning:
+    def test_written_trace_carries_version_header(self, tmp_path):
+        import json
+
+        from repro.trace.events import TRACE_FORMAT_VERSION
+
+        path = tmp_path / "trace.jsonl"
+        write_trace([AccessRecord(cycle=0, core=0, kind="load", addr=4)], path)
+        first_line = path.read_text().splitlines()[0]
+        assert json.loads(first_line) == {"trace_format": TRACE_FORMAT_VERSION}
+
+    def test_headerless_v1_trace_still_reads(self, tmp_path):
+        record = AccessRecord(cycle=3, core=1, kind="store", addr=8, value=7)
+        path = tmp_path / "v1.jsonl"
+        path.write_text(record.to_json() + "\n")
+        assert read_trace(path) == [record]
+
+    def test_bad_version_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"trace_format": "two"}\n')
+        with pytest.raises(ValueError, match="trace_format"):
+            read_trace(path)
+
+    def test_from_json_tolerates_unknown_keys(self):
+        record = AccessRecord(cycle=1, core=0, kind="load", addr=12, sync=True)
+        import json
+
+        data = json.loads(record.to_json())
+        data["future_field"] = {"nested": True}
+        assert AccessRecord.from_json(json.dumps(data)) == record
+
+
+class TestAcquireRoundTrip:
+    """Satellite fix: the trace layer used to drop the ``acquire`` flag
+    on loads and RMWs, so a replayed trace lost its self-invalidation
+    points under DeNovo."""
+
+    @pytest.fixture(scope="class")
+    def lock_trace(self):
+        # The MCS lock acquires via an acquire-marked tail swap (rmw) and
+        # spins on its queue node with an acquire wait (load).
+        workload = make_kernel(
+            "mcs", "counter", spec=KernelSpec(iterations=4, scale=1.0)
+        )
+        result = run_workload(
+            workload, "DeNovoSync", config_16(), seed=1, trace=True
+        )
+        return result.meta["trace"]
+
+    def test_acquire_recorded_on_rmws(self, lock_trace):
+        assert any(r.kind == "rmw" and r.acquire for r in lock_trace)
+
+    def test_acquire_recorded_on_loads(self, lock_trace):
+        assert any(r.kind == "load" and r.acquire for r in lock_trace)
+
+    def test_acquire_survives_disk_roundtrip(self, lock_trace, tmp_path):
+        path = tmp_path / "lock.jsonl"
+        write_trace(lock_trace, path)
+        back = read_trace(path)
+        assert [r.acquire for r in back] == [r.acquire for r in lock_trace]
+
+    def test_replay_preserves_acquire(self, lock_trace):
+        replay = TraceReplayWorkload(lock_trace)
+        result = run_workload(
+            replay, "DeNovoSync", config_16(), seed=0, trace=True
+        )
+        replayed = result.meta["trace"]
+        assert any(r.acquire for r in replayed)
+        # Per-core acquire streams match the original (rmw kinds replay
+        # as swaps, so compare (addr, acquire) sequences).
+        def acquires(trace):
+            out = {}
+            for r in trace:
+                if r.kind in ("load", "rmw"):
+                    out.setdefault(r.core, []).append((r.addr, r.acquire))
+            return out
+
+        assert acquires(replayed) == acquires(lock_trace)
+
+
 class TestAnalysis:
     def test_summary_counts(self, traced_run):
         summary = summarize(traced_run.meta["trace"])
