@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures examples clean
+.PHONY: install test test-fast lint sanitize bench figures examples clean
 
 install:
 	pip install -e ".[dev]"
@@ -12,6 +12,14 @@ test:
 
 test-fast:
 	$(PYTHON) -m pytest tests/ -x -q -k "not paper_shapes and not differential"
+
+lint:
+	ruff check src tests
+
+# DRF-contract sanitizer: lint the synclib/workloads sources and sweep
+# every kernel x protocol for unannotated races and stale-read hazards.
+sanitize:
+	$(PYTHON) -m repro.harness.cli sanitize --jobs 0
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

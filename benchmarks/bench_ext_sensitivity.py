@@ -9,7 +9,6 @@ direction of the M-S queue penalty — are robust across the swept range.
 
 from __future__ import annotations
 
-from dataclasses import replace
 
 from _bench_utils import bench_scale
 

@@ -207,6 +207,72 @@ def _run_mc(args) -> int:
     return 1 if violations else 0
 
 
+def _run_sanitize(args) -> int:
+    """The ``sanitize`` target: the static lint pass over the synclib and
+    workloads sources, plus the dynamic happens-before / self-invalidation
+    analysis of every kernel under every requested protocol."""
+    from repro.harness.parallel import run_tasks
+    from repro.sanitize.cells import SanitizeCell, run_cell
+    from repro.sanitize.findings import Report
+    from repro.sanitize.lint import default_lint_targets, lint_paths
+    from repro.workloads.registry import all_kernel_ids
+
+    report = Report()
+
+    lint_findings, linted = lint_paths(default_lint_targets())
+    report.extend(lint_findings)
+    report.lint_files = linted
+
+    cells = [
+        SanitizeCell(
+            family=family,
+            kernel=kernel,
+            protocol=protocol,
+            cores=args.cores[0],
+            scale=args.scale,
+            seed=args.seed,
+        )
+        for family, kernel in all_kernel_ids()
+        for protocol in args.protocols
+    ]
+    outcomes = run_tasks(run_cell, cells, jobs=args.jobs)
+    dirty = 0
+    for outcome in outcomes:
+        print(outcome.describe())
+        dirty += not outcome.ok
+        report.extend(outcome.findings)
+        report.cells.append(
+            {
+                "cell": outcome.cell_id,
+                "cores": outcome.cores,
+                "records": outcome.records,
+                "racy_unannotated_pairs": outcome.racy_unannotated_pairs,
+                "stale_read_hazards": outcome.stale_read_hazards,
+            }
+        )
+
+    for finding in report.findings:
+        if finding.severity == "error" and not finding.details.get("cell"):
+            print(f"lint error [{finding.kind}] {finding.site}: {finding.message}")
+    lint_errors = sum(
+        1 for f in lint_findings if f.severity == "error"
+    )
+    print(
+        f"sanitize: {len(outcomes) - dirty}/{len(outcomes)} dynamic cells clean "
+        f"({len(all_kernel_ids())} kernels x {len(args.protocols)} protocols, "
+        f"{args.cores[0]} cores, scale {args.scale}); lint: {lint_errors} "
+        f"error(s), {sum(1 for f in lint_findings if f.severity == 'warning')} "
+        f"warning(s) over {len(linted)} files"
+    )
+    if args.sanitize_out:
+        os.makedirs(os.path.dirname(args.sanitize_out) or ".", exist_ok=True)
+        with open(args.sanitize_out, "w") as fh:
+            fh.write(report.to_json())
+            fh.write("\n")
+        print(f"report: {args.sanitize_out}")
+    return 0 if report.clean else 1
+
+
 def _run_single(args) -> int:
     """The ``run`` target: one workload, one protocol, full detail."""
     from repro.config import config_for_cores
@@ -295,7 +361,7 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate the DeNovoSync (ASPLOS'15) evaluation figures.",
     )
     parser.add_argument(
-        "target", choices=ALL_TARGETS + ["all", "run", "chaos", "mc"]
+        "target", choices=ALL_TARGETS + ["all", "run", "chaos", "mc", "sanitize"]
     )
     parser.add_argument(
         "--workload", default=None,
@@ -369,8 +435,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--protocols", nargs="+",
         default=["MESI", "DeNovoSync0", "DeNovoSync"],
-        help="for 'mc': protocols to explore (default: MESI DeNovoSync0 "
-        "DeNovoSync)",
+        help="for 'mc'/'sanitize': protocols to explore (default: MESI "
+        "DeNovoSync0 DeNovoSync)",
     )
     parser.add_argument(
         "--max-schedules", type=int, default=20_000,
@@ -386,6 +452,11 @@ def main(argv: list[str] | None = None) -> int:
         "--mc-out", default=os.path.join("results", "mc"),
         help="for 'mc': directory for counterexample artifacts "
         "(default: results/mc)",
+    )
+    parser.add_argument(
+        "--sanitize-out", default=os.path.join("results", "sanitize.json"),
+        help="for 'sanitize': path of the JSON findings report "
+        "(default: results/sanitize.json; empty string disables)",
     )
     parser.add_argument(
         "--jobs", type=int, default=1,
@@ -425,6 +496,8 @@ def main(argv: list[str] | None = None) -> int:
         if args.bound is not None and args.bound < 0:
             args.bound = None  # -1: unbounded exploration
         return _run_mc(args)
+    if args.target == "sanitize":
+        return _run_sanitize(args)
 
     targets = ALL_TARGETS if args.target == "all" else [args.target]
     for target in targets:

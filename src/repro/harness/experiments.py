@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.config import SystemConfig, config_for_cores
+from repro.config import config_for_cores
 from repro.harness.parallel import (
     RunSpec,
     ResultCache,

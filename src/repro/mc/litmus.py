@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Generator
 
 from repro.config import SystemConfig
-from repro.cpu.isa import Cas, Compute, Fai, Load, SelfInvalidate, Store, Swap, WaitLoad
+from repro.cpu.isa import Cas, Fai, Load, SelfInvalidate, Store, WaitLoad
 from repro.cpu.thread import ThreadCtx
 from repro.mem.address import AddressMap
 from repro.mem.regions import RegionAllocator

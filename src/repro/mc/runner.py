@@ -33,7 +33,7 @@ litmus test's own postcondition (see :mod:`repro.mc.oracle`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.config import config_for_cores

@@ -12,7 +12,7 @@ ablation turns this off.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.mem.address import AddressMap
 

@@ -1,0 +1,28 @@
+"""The synchronization sanitizer: DeNovo's DRF contract, checked.
+
+Two modes share one finding vocabulary (:mod:`repro.sanitize.findings`):
+
+* **dynamic** (:mod:`repro.sanitize.dynamic`) — vector-clock
+  happens-before race detection plus self-invalidation completeness
+  over :class:`~repro.trace.events.AccessRecord` traces;
+* **static** (:mod:`repro.sanitize.lint`) — an AST lint pass over the
+  synclib/workloads sources enforcing simulator idioms.
+
+The ``sanitize`` CLI target (``repro.harness.cli``) fans the dynamic
+sweep over the kernel corpus via :mod:`repro.sanitize.cells`.
+"""
+
+from repro.sanitize.dynamic import TraceAnalysis, analyze_trace, region_lookup
+from repro.sanitize.findings import Finding, Report
+from repro.sanitize.lint import default_lint_targets, lint_paths, lint_source
+
+__all__ = [
+    "TraceAnalysis",
+    "analyze_trace",
+    "region_lookup",
+    "Finding",
+    "Report",
+    "default_lint_targets",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,101 @@
+"""Picklable (kernel × protocol) cells for the parallel sanitize sweep.
+
+Mirrors :mod:`repro.mc.cells`: the ``sanitize`` CLI target fans these
+out through :func:`repro.harness.parallel.run_tasks`.  Each cell runs
+one kernel under one protocol with tracing on, feeds the trace to the
+dynamic analyzer, and sends back a plain-data outcome (the trace itself
+never crosses the process boundary).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.sanitize.findings import Finding
+
+
+@dataclass(frozen=True)
+class SanitizeCell:
+    """One dynamic-analysis work item."""
+
+    family: str
+    kernel: str
+    protocol: str
+    cores: int = 16
+    scale: float = 0.05
+    seed: int = 1
+
+
+@dataclass
+class SanitizeOutcome:
+    """Picklable summary of one analyzed cell."""
+
+    family: str
+    kernel: str
+    protocol: str
+    cores: int
+    records: int = 0
+    racy_unannotated_pairs: int = 0
+    stale_read_hazards: int = 0
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.racy_unannotated_pairs == 0 and self.stale_read_hazards == 0
+
+    @property
+    def cell_id(self) -> str:
+        return f"{self.family}/{self.kernel} x {self.protocol}"
+
+    def describe(self) -> str:
+        line = (
+            f"{self.family + '/' + self.kernel:24s} {self.protocol:12s} "
+            f"({self.cores} cores): {self.records:6d} records"
+        )
+        if self.ok:
+            return line + " — ok"
+        return line + (
+            f" — {self.racy_unannotated_pairs} unannotated race pair(s), "
+            f"{self.stale_read_hazards} stale-read hazard(s)"
+        )
+
+
+def run_cell(cell: SanitizeCell) -> SanitizeOutcome:
+    """Trace + analyze one cell (worker-process entry point)."""
+    from repro.config import config_for_cores
+    from repro.harness.runner import run_workload
+    from repro.sanitize.dynamic import analyze_trace, region_lookup
+    from repro.workloads.base import KernelSpec
+    from repro.workloads.registry import make_kernel
+
+    workload = make_kernel(cell.family, cell.kernel, spec=KernelSpec(scale=cell.scale))
+    config = config_for_cores(cell.cores)
+    result = run_workload(
+        workload,
+        cell.protocol,
+        config,
+        seed=cell.seed,
+        trace=True,
+        keep_protocol=True,
+    )
+    protocol = result.meta["protocol"]
+    analysis = analyze_trace(
+        result.meta["trace"], region_of=region_lookup(protocol.allocator)
+    )
+    outcome = SanitizeOutcome(
+        family=cell.family,
+        kernel=cell.kernel,
+        protocol=cell.protocol,
+        cores=cell.cores,
+        records=analysis.records_analyzed,
+        racy_unannotated_pairs=analysis.racy_unannotated_pairs,
+        stale_read_hazards=analysis.stale_read_hazards,
+    )
+    for finding in analysis.findings:
+        details = dict(finding.details)
+        details["cell"] = outcome.cell_id
+        outcome.findings.append(
+            replace(finding, site=f"{outcome.cell_id}: {finding.site}",
+                    details=details)
+        )
+    return outcome

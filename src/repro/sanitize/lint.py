@@ -1,0 +1,276 @@
+"""Static-mode sanitizer: an AST lint pass enforcing simulator idioms.
+
+Thread programs are Python generators yielding ISA ops, which makes a
+class of bugs invisible to the runtime: a yielded op whose result the
+kernel needed but discarded still *runs*, it just computes garbage (or
+only works by luck).  This pass walks every function of the target
+sources and enforces:
+
+``discarded-result`` (error)
+    A bare ``yield Cas(...)`` / ``yield Fai(...)`` / ``yield Swap(...)``
+    statement discards the op's result.  Helping CASes and broadcast
+    bumps legitimately ignore it — write ``_ = yield Cas(...)`` to make
+    the discard explicit; the lint sanctions the ``_`` binding.
+``cas-success-unchecked`` (error)
+    The result of a ``yield Cas(...)`` is bound to a name that is never
+    read again, so the CAS's success is never checked (bind to ``_``
+    for an intentional fire-and-forget CAS).
+``waitload-not-sync`` (error)
+    ``WaitLoad(..., sync=False)``: a spin-wait is a racy read by
+    definition and must be annotated as synchronization.
+``unbalanced-buckets`` (error)
+    A function yields a different number of ``PushBucket`` and
+    ``PopBucket`` ops, corrupting the cycle-accounting stack.
+``release-on-data-store`` (error)
+    ``Store(..., release=True)`` without ``sync=True``: release
+    semantics only exist on synchronization stores.
+``raw-address`` (error)
+    A literal integer address passed to a memory op instead of an
+    address derived from a :class:`~repro.mem.regions.RegionAllocator`
+    allocation (literal addresses bypass region tracking, so DeNovo
+    self-invalidation cannot cover them).
+``waitload-result-discarded`` (warning)
+    A bare ``yield WaitLoad(...)`` whose predicate does not pin the
+    value with an equality test discards information (the observed
+    value is not implied by the predicate passing).  Non-gating.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.sanitize.findings import (
+    KIND_CAS_UNCHECKED,
+    KIND_DISCARDED_RESULT,
+    KIND_RAW_ADDRESS,
+    KIND_RELEASE_ON_DATA_STORE,
+    KIND_UNBALANCED_BUCKETS,
+    KIND_WAITLOAD_NOT_SYNC,
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    Finding,
+)
+
+KIND_WAITLOAD_DISCARDED = "waitload-result-discarded"
+
+#: Ops whose result carries information the program normally needs.
+RESULT_OPS = {"Cas", "Fai", "Swap"}
+#: Ops taking an address as their first positional argument.
+ADDRESS_OPS = {"Load", "Store", "Cas", "Fai", "Swap", "WaitLoad"}
+
+
+def _call_op(node: ast.AST) -> Optional[tuple[str, ast.Call]]:
+    """(op name, call) when ``node`` is a call of a known ISA op."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+    else:
+        return None
+    if name in ADDRESS_OPS or name in ("PushBucket", "PopBucket"):
+        return name, node
+    return None
+
+
+def _yielded_call(node: ast.AST) -> Optional[tuple[str, ast.Call]]:
+    """(op name, call) when ``node`` is a ``yield <ISA op>(...)``."""
+    if isinstance(node, ast.Yield) and node.value is not None:
+        return _call_op(node.value)
+    return None
+
+
+def _keyword(call: ast.Call, name: str) -> Optional[ast.expr]:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _is_literal(node: Optional[ast.expr], value) -> bool:
+    return isinstance(node, ast.Constant) and node.value is value
+
+
+def _predicate_pins_value(call: ast.Call) -> bool:
+    """True when the WaitLoad predicate is ``lambda v, ...: v == <expr>``
+    (the passing value is implied, so discarding the result loses
+    nothing)."""
+    pred = call.args[1] if len(call.args) > 1 else _keyword(call, "pred")
+    if not isinstance(pred, ast.Lambda):
+        return False
+    body = pred.body
+    if not isinstance(body, ast.Compare) or len(body.ops) != 1:
+        return False
+    if not isinstance(body.ops[0], ast.Eq):
+        return False
+    args = pred.args.args
+    if not args:
+        return False
+    value_arg = args[0].arg
+    return isinstance(body.left, ast.Name) and body.left.id == value_arg
+
+
+class _FunctionLinter:
+    """Lints one function body (nested defs are linted separately)."""
+
+    def __init__(self, path: str, func: ast.AST, findings: list[Finding]):
+        self.path = path
+        self.func = func
+        self.findings = findings
+
+    def _emit(self, kind: str, severity: str, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        self.findings.append(
+            Finding(
+                kind=kind,
+                severity=severity,
+                message=message,
+                site=f"{self.path}:{line}",
+                details={"file": self.path, "line": line,
+                         "function": getattr(self.func, "name", "<module>")},
+            )
+        )
+
+    def run(self) -> None:
+        pushes = 0
+        pops = 0
+        cas_bindings: dict[str, ast.AST] = {}
+        read_names: set[str] = set()
+
+        for node in self._own_nodes():
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                read_names.add(node.id)
+
+            yielded = None
+            if isinstance(node, ast.Expr):
+                yielded = _yielded_call(node.value)
+                if yielded is not None:
+                    name, call = yielded
+                    if name in RESULT_OPS:
+                        self._emit(
+                            KIND_DISCARDED_RESULT, SEVERITY_ERROR, node,
+                            f"result of yielded {name} is discarded; bind it "
+                            "(or use '_ = yield ...' for an intentional "
+                            "discard)",
+                        )
+                    elif name == "WaitLoad" and not _predicate_pins_value(call):
+                        self._emit(
+                            KIND_WAITLOAD_DISCARDED, SEVERITY_WARNING, node,
+                            "WaitLoad result discarded and its predicate does "
+                            "not pin the value with an equality test",
+                        )
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                yielded = _yielded_call(node.value)
+                if (
+                    yielded is not None
+                    and yielded[0] == "Cas"
+                    and isinstance(target, ast.Name)
+                    and target.id != "_"
+                ):
+                    cas_bindings[target.id] = node
+
+            call_info = _call_op(node)
+            if call_info is None:
+                continue
+            name, call = call_info
+            if name == "PushBucket":
+                pushes += 1
+            elif name == "PopBucket":
+                pops += 1
+            if name == "WaitLoad" and _is_literal(_keyword(call, "sync"), False):
+                self._emit(
+                    KIND_WAITLOAD_NOT_SYNC, SEVERITY_ERROR, node,
+                    "WaitLoad(sync=False): a spin-wait is racy by definition "
+                    "and must be a synchronization access",
+                )
+            if (
+                name == "Store"
+                and _is_literal(_keyword(call, "release"), True)
+                and not _is_literal(_keyword(call, "sync"), True)
+            ):
+                self._emit(
+                    KIND_RELEASE_ON_DATA_STORE, SEVERITY_ERROR, node,
+                    "Store(release=True) without sync=True: release "
+                    "semantics only exist on synchronization stores",
+                )
+            if name in ADDRESS_OPS:
+                addr = call.args[0] if call.args else _keyword(call, "addr")
+                if isinstance(addr, ast.Constant) and isinstance(addr.value, int):
+                    self._emit(
+                        KIND_RAW_ADDRESS, SEVERITY_ERROR, node,
+                        f"{name} of literal address {addr.value}: addresses "
+                        "must come from a RegionAllocator allocation so "
+                        "region-based self-invalidation can cover them",
+                    )
+
+        for bound, node in cas_bindings.items():
+            # One read suffices: the binding itself is a Store-ctx Name.
+            if bound not in read_names:
+                self._emit(
+                    KIND_CAS_UNCHECKED, SEVERITY_ERROR, node,
+                    f"Cas result bound to {bound!r} but never read: the "
+                    "CAS's success is never checked",
+                )
+
+        if pushes != pops and (pushes or pops):
+            self._emit(
+                KIND_UNBALANCED_BUCKETS, SEVERITY_ERROR, self.func,
+                f"{pushes} PushBucket vs {pops} PopBucket yields in "
+                f"{getattr(self.func, 'name', '<module>')!r}: the "
+                "cycle-accounting stack would be corrupted",
+            )
+
+    def _own_nodes(self):
+        """Walk the function's body without descending into nested defs
+        (lambdas are kept: predicates live there)."""
+        stack = list(ast.iter_child_nodes(self.func))
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Finding]:
+    """Lint one module's source text; returns its findings."""
+    findings: list[Finding] = []
+    tree = ast.parse(source, filename=path)
+    functions = [
+        node for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    for func in functions:
+        _FunctionLinter(path, func, findings).run()
+    # Module-level code participates too (rare, but cheap to cover).
+    module_linter = _FunctionLinter(path, tree, findings)
+    module_linter.run()
+    return findings
+
+
+def lint_paths(paths: Iterable) -> tuple[list[Finding], list[str]]:
+    """Lint every file; returns (findings, files linted)."""
+    findings: list[Finding] = []
+    linted: list[str] = []
+    for path in paths:
+        path = Path(path)
+        findings.extend(lint_source(path.read_text(), str(path)))
+        linted.append(str(path))
+    return findings, linted
+
+
+def default_lint_targets() -> list[Path]:
+    """The shipped lint corpus: every module under ``repro.synclib`` and
+    ``repro.workloads``."""
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    targets: list[Path] = []
+    for package in ("synclib", "workloads"):
+        targets.extend(sorted((root / package).glob("*.py")))
+    return targets

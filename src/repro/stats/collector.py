@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field, replace
-from typing import Optional
 
 from repro.noc.traffic import TrafficLedger
 from repro.stats.timeparts import TimeBreakdown, TimeComponent

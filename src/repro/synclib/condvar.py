@@ -44,7 +44,7 @@ class ConditionVariable:
 
     def notify_all(self):
         """Generator: wake every current waiter (callers hold the lock)."""
-        yield Fai(self.seq, release=True)
+        _ = yield Fai(self.seq, release=True)
 
 
 class BoundedBuffer:

@@ -71,7 +71,9 @@ class _VersionedObject:
 
     def _read_current(self, ctx: ThreadCtx):
         """Read (and optionally re-validate) the current version pointer."""
-        current = yield Load(self.ptr, sync=True)
+        # The pointer read is the acquire: it synchronizes with the
+        # release-CAS that published the current version block.
+        current = yield Load(self.ptr, sync=True, acquire=True)
         if not self.reduced_checks:
             # Equality checks: re-read the pointer to filter doomed attempts
             # early (cheap under MESI, a registration miss under DeNovo).

@@ -108,7 +108,11 @@ class DoubleLockQueue:
         token = yield from self.tail_lock.acquire(ctx)
         yield SelfInvalidate((self.region,))
         tail_node = yield Load(self.tail)
-        yield Store(tail_node + 1, node)  # tail->next = node
+        # tail->next = node.  The link word races with the dequeuer's read
+        # (enqueuers hold the tail lock, dequeuers the head lock, and the
+        # two meet on this word when the queue drains), so it must be a
+        # synchronization access; release publishes the node contents.
+        yield Store(tail_node + 1, node, sync=True, release=True)
         yield Store(self.tail, node)
         yield from self.tail_lock.release(token)
 
@@ -116,7 +120,10 @@ class DoubleLockQueue:
         token = yield from self.head_lock.acquire(ctx)
         yield SelfInvalidate((self.region,))
         head_node = yield Load(self.head)
-        nxt = yield Load(head_node + 1)
+        # The link read is the dequeuer's half of the cross-lock race on
+        # the next pointer; acquiring here orders the node contents
+        # published by the enqueuer's release store.
+        nxt = yield Load(head_node + 1, sync=True, acquire=True)
         if nxt == 0:
             yield from self.head_lock.release(token)
             return EMPTY

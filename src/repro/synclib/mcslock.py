@@ -15,7 +15,6 @@ at most one outstanding acquire per lock, so nodes are safely reused).
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.cpu.isa import Cas, Load, Store, Swap, WaitLoad
 from repro.cpu.thread import ThreadCtx

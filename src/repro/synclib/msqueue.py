@@ -76,15 +76,17 @@ class MichaelScottQueue:
             tail2 = yield Load(self.tail, sync=True)  # (3) if pt == tail
             if tail == tail2:
                 if nxt == NULL:
-                    old = yield Cas(tail + 1, NULL, node)  # (5) linearization
+                    # (5) linearization; release publishes node.value to
+                    # the dequeuer that acquires through this link.
+                    old = yield Cas(tail + 1, NULL, node, release=True)
                     if old == NULL:
                         break
                 else:
-                    yield Cas(self.tail, tail, nxt)  # (6) help the tail along
+                    _ = yield Cas(self.tail, tail, nxt)  # (6) help the tail along
             if self.software_backoff:
                 yield from exponential_backoff(ctx.rng, attempt)
                 attempt += 1
-        yield Cas(self.tail, tail, node, release=True)  # (7) swing the tail
+        _ = yield Cas(self.tail, tail, node, release=True)  # (7) swing the tail
 
     def dequeue(self, ctx: ThreadCtx):
         """Generator: returns the value, or None when empty."""
@@ -92,13 +94,15 @@ class MichaelScottQueue:
         while True:
             head = yield Load(self.head, sync=True)
             tail = yield Load(self.tail, sync=True)
-            nxt = yield Load(head + 1, sync=True)
+            # The link read is the dequeue's acquire: it synchronizes with
+            # the enqueuer's linearizing release-CAS on this word.
+            nxt = yield Load(head + 1, sync=True, acquire=True)
             head2 = yield Load(self.head, sync=True)
             if head == head2:
                 if head == tail:
                     if nxt == NULL:
                         return None  # empty
-                    yield Cas(self.tail, tail, nxt)  # help a lagging tail
+                    _ = yield Cas(self.tail, tail, nxt)  # help a lagging tail
                 else:
                     yield SelfInvalidate((self.values,))
                     value = yield Load(nxt)  # pn->val: data

@@ -56,11 +56,11 @@ class PLJQueue:
                 if slot == EMPTY_SLOT:
                     old = yield Cas(self.slots + tail, EMPTY_SLOT, value)
                     if old == EMPTY_SLOT:
-                        yield Cas(self.tail, tail, tail + 1, release=True)
+                        _ = yield Cas(self.tail, tail, tail + 1, release=True)
                         return
                 else:
                     # Someone published at this slot; help the tail along.
-                    yield Cas(self.tail, tail, tail + 1)
+                    _ = yield Cas(self.tail, tail, tail + 1)
             if self.software_backoff:
                 yield from exponential_backoff(ctx.rng, attempt)
                 attempt += 1
@@ -79,12 +79,12 @@ class PLJQueue:
                 if slot not in (EMPTY_SLOT, TAKEN_SLOT):
                     old = yield Cas(self.slots + head, slot, TAKEN_SLOT)
                     if old == slot:
-                        yield Cas(self.head, head, head + 1, release=True)
+                        _ = yield Cas(self.head, head, head + 1, release=True)
                         return slot
                 else:
                     # The slot was consumed but head lags; help it along.
                     if slot == TAKEN_SLOT:
-                        yield Cas(self.head, head, head + 1)
+                        _ = yield Cas(self.head, head, head + 1)
             if self.software_backoff:
                 yield from exponential_backoff(ctx.rng, attempt)
                 attempt += 1

@@ -68,7 +68,9 @@ class TreiberStack:
         """Generator: returns the value, or None when empty."""
         attempt = 0
         while True:
-            top = yield Load(self.top, sync=True)
+            # The successful read of top is the pop's acquire: it
+            # synchronizes with the release-CAS that published the node.
+            top = yield Load(self.top, sync=True, acquire=True)
             if top == NULL:
                 return None
             yield SelfInvalidate((self.nodes,))

@@ -22,6 +22,7 @@ class TraceSummary:
     hot_words: list[tuple[int, int]] = field(default_factory=list)
     max_sharing_degree: int = 0
     read_shared_words: int = 0
+    racy_unannotated_pairs: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -36,7 +37,10 @@ def summarize(records: list[AccessRecord], top_n: int = 10) -> TraceSummary:
     ``max_sharing_degree`` is the largest number of distinct cores that
     touched any one word; ``read_shared_words`` counts words read by more
     than one core — the population DeNovoSync's read registration
-    serializes.
+    serializes.  ``racy_unannotated_pairs`` is the number of conflicting
+    access pairs with no happens-before order where at least one side is
+    unannotated (``sync=False``) — the DRF-contract violations the
+    sanitizer's dynamic mode reports (see :mod:`repro.sanitize.dynamic`).
     """
     summary = TraceSummary()
     by_kind: Counter[str] = Counter()
@@ -75,6 +79,9 @@ def summarize(records: list[AccessRecord], top_n: int = 10) -> TraceSummary:
     summary.read_shared_words = sum(
         1 for cores in readers.values() if len(cores) > 1
     )
+    from repro.sanitize.dynamic import analyze_trace
+
+    summary.racy_unannotated_pairs = analyze_trace(records).racy_unannotated_pairs
     return summary
 
 

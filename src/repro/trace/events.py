@@ -2,9 +2,13 @@
 
 Trace files start with a header line ``{"trace_format": N}`` so readers
 can tell versions apart; records follow, one JSON object per line.
-Version 2 added the ``acquire`` field.  :meth:`AccessRecord.from_json`
-ignores unknown keys, so traces written by newer code (with extra
-fields) stay readable by older readers and vice versa.
+Version 2 added the ``acquire`` field; version 3 added ``regions`` so
+self-invalidation records carry their full region list (version 2 kept
+only the first region's id, which was lossy for multi-region
+invalidations and too little for the sanitizer's completeness checker).
+:meth:`AccessRecord.from_json` ignores unknown keys, so traces written
+by newer code (with extra fields) stay readable by older readers and
+vice versa.
 """
 
 from __future__ import annotations
@@ -14,8 +18,9 @@ from dataclasses import asdict, dataclass, fields
 
 #: Current on-disk trace format version.  History:
 #: 1 — headerless JSONL (the original format; still readable);
-#: 2 — header line + ``acquire`` field on records.
-TRACE_FORMAT_VERSION = 2
+#: 2 — header line + ``acquire`` field on records;
+#: 3 — ``regions`` field (full region-id list on ``selfinv`` records).
+TRACE_FORMAT_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -29,6 +34,11 @@ class AccessRecord:
     protocol produces its own).  ``acquire`` marks acquire semantics —
     under DeNovo an acquire drives self-invalidation, so replay must
     preserve it.
+
+    For ``selfinv`` records, ``regions`` is the full tuple of
+    self-invalidated region ids and ``value`` is 1 for a flush-all
+    invalidation (0 otherwise); ``addr`` keeps the version-2 convention
+    (first region id, or -1 for flush-all) for older readers.
     """
 
     cycle: int
@@ -41,15 +51,26 @@ class AccessRecord:
     value: int = 0
     latency: int = 0
     hit: bool = False
+    regions: tuple[int, ...] = ()
+
+    @property
+    def flush_all(self) -> bool:
+        """True for a flush-all ``selfinv`` record."""
+        return self.kind == "selfinv" and (self.value == 1 or self.addr == -1)
 
     def to_json(self) -> str:
-        return json.dumps(asdict(self), separators=(",", ":"))
+        data = asdict(self)
+        data["regions"] = list(self.regions)
+        return json.dumps(data, separators=(",", ":"))
 
     @staticmethod
     def from_json(line: str) -> "AccessRecord":
         data = json.loads(line)
         known = {f.name for f in fields(AccessRecord)}
-        return AccessRecord(**{k: v for k, v in data.items() if k in known})
+        data = {k: v for k, v in data.items() if k in known}
+        if "regions" in data:
+            data["regions"] = tuple(data["regions"])
+        return AccessRecord(**data)
 
 
 def write_trace(records, path) -> int:

@@ -156,7 +156,9 @@ class TracingProtocol:
                 core=core_id,
                 kind="selfinv",
                 addr=-1 if flush_all else (regions[0].region_id if regions else -1),
+                value=1 if flush_all else 0,
                 latency=latency,
+                regions=tuple(r.region_id for r in regions) if not flush_all else (),
             )
         )
         return latency

@@ -18,8 +18,8 @@ fitting the paper's output numbers.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Generator, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.config import SystemConfig
 from repro.cpu.isa import Compute, Load, PopBucket, PushBucket, SelfInvalidate, Store, WaitLoad
@@ -27,7 +27,6 @@ from repro.cpu.thread import ThreadCtx
 from repro.mem.regions import RegionAllocator
 from repro.stats.timeparts import TimeComponent
 from repro.synclib.barriers import TreeBarrier
-from repro.synclib.msqueue import MichaelScottQueue
 from repro.synclib.tatas import TatasLock
 from repro.workloads.base import Workload, WorkloadInstance
 
@@ -377,8 +376,12 @@ def _pipeline_program(ctx: ThreadCtx, app: _AppShared, scale: float):
 
     for seq in range(1, items + 1):
         if left >= 0:
-            # Consume: wait for the item, self-invalidate, read the payload.
-            yield WaitLoad(pipe.flags[left], lambda v, s=seq: v >= s, sync=True)
+            # Consume: wait for the item (the successful probe is the
+            # acquire), self-invalidate, read the payload.
+            yield WaitLoad(
+                pipe.flags[left], lambda v, s=seq: v >= s,
+                sync=True, acquire=True,
+            )
             yield SelfInvalidate((pipe.payload_region,))
             for w in range(pipe.PAYLOAD_WORDS):
                 yield Load(pipe.payloads[left] + w)
@@ -391,9 +394,14 @@ def _pipeline_program(ctx: ThreadCtx, app: _AppShared, scale: float):
             else:
                 yield Load(addr)
         if me < ctx.num_cores - 1:
-            # Flow control: wait for the consumer to drain the previous item.
+            # Flow control: wait for the consumer to drain the previous
+            # item (acquire: the producer re-writes the payload words the
+            # consumer just read, so the ack must order those reads).
             if seq > 1:
-                yield WaitLoad(pipe.acks[me], lambda v, s=seq: v >= s - 1, sync=True)
+                yield WaitLoad(
+                    pipe.acks[me], lambda v, s=seq: v >= s - 1,
+                    sync=True, acquire=True,
+                )
             for w in range(pipe.PAYLOAD_WORDS):
                 yield Store(pipe.payloads[me] + w, seq + w)
             yield Store(pipe.flags[me], seq, sync=True, release=True)

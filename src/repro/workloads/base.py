@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable, Generator, Iterable, Optional
+from typing import Generator, Iterable, Optional
 
 from repro.config import SystemConfig
 from repro.cpu.isa import Compute, PopBucket, PushBucket

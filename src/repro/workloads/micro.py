@@ -147,7 +147,10 @@ class ProducerConsumer(_MicroBase):
         me, left = ctx.core_id, ctx.core_id - 1
         for seq in range(1, self.rounds + 1):
             if left >= 0:
-                yield WaitLoad(state["flags"][left], lambda v, s=seq: v >= s, sync=True)
+                yield WaitLoad(
+                    state["flags"][left], lambda v, s=seq: v >= s,
+                    sync=True, acquire=True,
+                )
                 yield SelfInvalidate((state["region"],))
                 for w in range(self.PAYLOAD_WORDS):
                     yield Load(state["payloads"][left] + w)

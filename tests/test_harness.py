@@ -7,7 +7,6 @@ import pytest
 from repro.config import config_16
 from repro.harness.cli import main as cli_main
 from repro.harness.experiments import (
-    FigureRow,
     run_apps_figure,
     run_eqcheck_ablation,
     run_kernel_figure,

@@ -7,7 +7,6 @@ from repro.harness.cli import main
 from repro.mc import CORPUS, explore
 from repro.mc.artifact import load_counterexample, replay_counterexample
 from repro.mc.cells import McCell, run_cell
-from repro.mc.minimize import minimize_schedule
 from repro.protocols.mesi import MesiProtocol, MesiState
 
 

@@ -9,7 +9,6 @@ protocol's value handling.
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

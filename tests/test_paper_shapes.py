@@ -11,9 +11,8 @@ drift with scale and seed.
 
 import pytest
 
-from repro.config import config_16, config_64, config_for_cores
+from repro.config import config_for_cores
 from repro.harness.experiments import (
-    run_kernel_figure,
     run_selfinv_ablation,
     run_sw_backoff_ablation,
 )

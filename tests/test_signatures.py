@@ -3,7 +3,7 @@
 import pytest
 
 from repro.config import config_for_cores
-from repro.cpu.isa import Compute, Load, Store, Swap, WaitLoad
+from repro.cpu.isa import Compute, Load, Store
 from repro.harness.runner import run_workload
 from repro.protocols.signatures import (
     SIGNATURE_CAPACITY,

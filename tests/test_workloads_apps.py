@@ -81,9 +81,6 @@ class TestAppBehaviours:
             keep_protocol=True,
         )
         assert result.cycles > 0
-        # Every link's flag reached the final sequence number.
-        protocol = result.meta["protocol"]
-        # flags are allocated line-aligned starting from the first pipe flag
 
     def test_apps_have_barrier_phases(self):
         config = config_for_cores(64)
