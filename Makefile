@@ -2,7 +2,11 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast lint sanitize bench figures examples clean
+# Let every target work from a fresh checkout (no `pip install -e .`
+# needed); with the package installed this still prefers the checkout.
+export PYTHONPATH := src:$(PYTHONPATH)
+
+.PHONY: install test test-fast lint sanitize bench bench-micro profile figures examples clean
 
 install:
 	pip install -e ".[dev]"
@@ -24,6 +28,20 @@ sanitize:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
+# Engine/dispatch microbenchmarks with the committed-baseline gate
+# (exact event counts + throughput floor; see benchmarks/bench_engine_micro.py).
+bench-micro:
+	$(PYTHON) benchmarks/bench_engine_micro.py --compare results/bench_baseline.json
+
+# cProfile one workload end to end, e.g.:
+#   make profile WORKLOAD=tatas/counter PROTO=DeNovoSync CORES=64
+WORKLOAD ?= tatas/counter
+PROTO ?= DeNovoSync
+CORES ?= 64
+profile:
+	$(PYTHON) -m repro.harness.cli profile --workload "$(WORKLOAD)" \
+		--protocol $(PROTO) --cores $(CORES) --top 25
+
 # Regenerate every paper figure into results/ (text tables).
 figures:
 	$(PYTHON) -m repro.harness.cli all --out results/
@@ -32,5 +50,8 @@ examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; done
 
 clean:
-	rm -rf results .pytest_cache .benchmarks
+	rm -rf .pytest_cache .benchmarks
+	# results/ holds generated figures and the sweep cache, but
+	# bench_baseline.json is committed (the perf-smoke reference).
+	find results -mindepth 1 ! -name bench_baseline.json -exec rm -rf {} + 2>/dev/null || true
 	find . -name __pycache__ -type d -exec rm -rf {} +

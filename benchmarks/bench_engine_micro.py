@@ -1,0 +1,205 @@
+"""Engine micro-benchmarks: scheduler throughput and end-to-end op rate.
+
+Standalone — no pytest needed::
+
+    PYTHONPATH=src python benchmarks/bench_engine_micro.py
+    PYTHONPATH=src python benchmarks/bench_engine_micro.py --json out.json
+    PYTHONPATH=src python benchmarks/bench_engine_micro.py \\
+        --compare results/bench_baseline.json
+
+Each scenario reports two things:
+
+* a **fired-event count** — fully deterministic, compared *exactly* in
+  ``--compare`` mode.  A count drift means the scheduler changed
+  *behavior* (events created, lost, or double-fired), which is a
+  correctness regression no matter how fast it got.
+* a **throughput** (events or cycles per second) — compared against the
+  baseline with a generous tolerance (CI machines vary widely; the gate
+  is for order-of-magnitude regressions like an accidental O(n) scan in
+  the hot loop, not for noise).
+
+The scenarios stress the hybrid scheduler's distinct regimes: a serial
+hand-off chain (wheel fast path), a fan-out mixing near deltas with
+beyond-window deltas (wheel + heap interplay and migration), a cancel
+storm (tombstone compaction on both sides), and one real kernel run
+(the end-to-end number the engine work was for).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from time import perf_counter
+
+from repro.sim.engine import Simulator
+
+#: Mix of in-window (< Simulator.WHEEL_SIZE) and far deltas, shaped like
+#: the real workloads: mostly short steps, occasional long backoffs.
+_DELTAS = (1, 2, 3, 5, 8, 100, 421, 500, 1023, 1024, 2048, 4095)
+
+
+def _pingpong(n: int = 200_000):
+    """Serial chain: each event schedules the next one cycle out."""
+    sim = Simulator()
+    left = [n]
+
+    def hop(_arg):
+        if left[0] > 0:
+            left[0] -= 1
+            sim.call_after(1, hop, None)
+
+    sim.call_after(0, hop, None)
+    start = perf_counter()
+    fired = sim.run()
+    return fired, perf_counter() - start
+
+
+def _fanout_mix(n: int = 120_000):
+    """Fan-out over mixed deltas: wheel and heap both stay populated."""
+    sim = Simulator()
+    budget = [n]
+
+    def fire(_arg):
+        b = budget[0]
+        if b <= 0:
+            return
+        budget[0] = b - 1
+        sim.call_after(_DELTAS[b % len(_DELTAS)], fire, None)
+        if b & 1:
+            sim.call_after(_DELTAS[(b * 7) % len(_DELTAS)], fire, None)
+
+    sim.call_after(0, fire, None)
+    start = perf_counter()
+    fired = sim.run()
+    return fired, perf_counter() - start
+
+
+def _cancel_churn(rounds: int = 50, batch: int = 2_000):
+    """Schedule storms, cancel half, drain: exercises compaction."""
+    sim = Simulator()
+
+    def noop():
+        return None
+
+    fired = 0
+    start = perf_counter()
+    for _ in range(rounds):
+        handles = [
+            sim.schedule_after((i * 13) % 3_000 + 1, noop) for i in range(batch)
+        ]
+        for handle in handles[::2]:
+            handle.cancel()
+        fired += sim.run()
+    return fired, perf_counter() - start
+
+
+def _kernel_ops():
+    """One real kernel run: the end-to-end rate the engine work targets."""
+    from repro.config import config_for_cores
+    from repro.harness.runner import run_workload
+    from repro.workloads.base import KernelSpec
+    from repro.workloads.registry import make_kernel
+
+    workload = make_kernel("tatas", "counter", spec=KernelSpec(scale=0.05))
+    start = perf_counter()
+    result = run_workload(workload, "DeNovoSync", config_for_cores(16), seed=1)
+    return result.cycles, perf_counter() - start
+
+
+SCENARIOS = {
+    "pingpong": (_pingpong, "events"),
+    "fanout_mix": (_fanout_mix, "events"),
+    "cancel_churn": (_cancel_churn, "events"),
+    "kernel_tatas_16c": (_kernel_ops, "cycles"),
+}
+
+
+def run_all() -> dict:
+    out = {}
+    for name, (fn, unit) in SCENARIOS.items():
+        count, seconds = fn()
+        out[name] = {
+            "count": count,
+            "unit": unit,
+            "seconds": round(seconds, 4),
+            "rate": round(count / seconds) if seconds > 0 else 0,
+        }
+    return out
+
+
+def _baseline_scenarios(path: str) -> dict:
+    with open(path) as fh:
+        data = json.load(fh)
+    if "scenarios" in data:
+        return data["scenarios"]
+    return data["micro"]["scenarios"]
+
+
+def compare(results: dict, baseline_path: str, tolerance: float) -> int:
+    baseline = _baseline_scenarios(baseline_path)
+    failures = []
+    for name, got in results.items():
+        ref = baseline.get(name)
+        if ref is None:
+            print(f"{name:18s} (no baseline entry; recorded only)")
+            continue
+        if got["count"] != ref["count"]:
+            failures.append(
+                f"{name}: fired-count drift {ref['count']} -> {got['count']} "
+                f"(scheduler behavior changed)"
+            )
+            status = "COUNT DRIFT"
+        elif got["rate"] < ref["rate"] * tolerance:
+            failures.append(
+                f"{name}: rate {got['rate']}/s fell below "
+                f"{tolerance:.0%} of baseline {ref['rate']}/s"
+            )
+            status = "TOO SLOW"
+        else:
+            status = "ok"
+        print(
+            f"{name:18s} {got['count']:>10d} {got['unit']:6s} "
+            f"{got['rate']:>10d}/s (baseline {ref['rate']:>10d}/s)  {status}"
+        )
+    if failures:
+        print("\nperf regression gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nperf regression gate passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", default=None, help="write results JSON here")
+    parser.add_argument(
+        "--compare", default=None,
+        help="baseline JSON (bench_baseline.json or a prior --json output); "
+        "exit non-zero on exact fired-count drift or a large slowdown",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.2,
+        help="minimum acceptable fraction of the baseline rate (default 0.2)",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_all()
+    for name, row in results.items():
+        print(
+            f"{name:18s} {row['count']:>10d} {row['unit']:6s} "
+            f"in {row['seconds']:8.3f}s = {row['rate']:>10d}/s"
+        )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump({"scenarios": results}, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"results -> {args.json}")
+    if args.compare:
+        return compare(results, args.compare, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,15 @@ Spin-wait execution (:class:`~repro.cpu.isa.WaitLoad`):
   sync-read miss, preceded by whatever hardware backoff the protocol asks
   for.  This is where DeNovoSync0's ping-ponging and DeNovoSync's adaptive
   delays emerge.
+
+Hot-path structure: operations dispatch through a per-class handler table
+instead of an ``isinstance`` chain, and every event the core schedules
+goes through :meth:`~repro.sim.engine.Simulator.call_after` /
+``call_at`` with a method prebound in ``__init__`` — no closure and no
+``Event`` allocation per operation.  The state a retry needs (the op, the
+RMW operands, the spin re-probe cycle) lives in per-core fields, which is
+sound because an in-order blocking core has exactly one operation in
+flight.
 """
 
 from __future__ import annotations
@@ -34,6 +43,11 @@ from repro.stats.timeparts import TimeBreakdown, TimeComponent
 
 #: Cycles of loop overhead between consecutive spin probes (branch + test).
 SPIN_LOOP_OVERHEAD = 1
+
+#: Array ordinals of the components touched on every memory access
+#: (accounting indexes ``TimeBreakdown._cycles`` directly, see below).
+_IDX_COMPUTE = TimeComponent.COMPUTE.idx
+_IDX_MEMORY_STALL = TimeComponent.MEMORY_STALL.idx
 
 #: Operations that are *visible* to a schedule controller: each issue is
 #: a decision point when ``sim.controller`` is set.  ``WaitLoad`` is
@@ -50,6 +64,24 @@ class Core:
         self.sim = sim
         self.protocol = protocol
         self.time = TimeBreakdown()
+        self._tc = self.time._cycles
+        # With invariant checking off, set_time degenerates to a clock
+        # store; cores then write ``protocol.now`` directly and skip the
+        # method call (several per memory operation).  Guarded on the
+        # protocol using the *base* set_time: the trace recorder and
+        # fault-injection wrappers override it and must keep being called.
+        self._fast_time = (
+            getattr(type(protocol), "set_time", None)
+            is CoherenceProtocol.set_time
+            and getattr(protocol, "_invariant_period", 1) == 0
+        )
+        # Protocols that never ask for hardware backoff (everything except
+        # DeNovoSync; wrappers count as "may ask") skip the query entirely
+        # on sync loads and spin probes.
+        self._has_backoff = (
+            getattr(type(protocol), "sync_read_backoff", None)
+            is not CoherenceProtocol.sync_read_backoff
+        )
         self.finish_time: Optional[int] = None
         self._gen: Optional[Generator] = None
         self._bucket_stack: list[TimeComponent] = []
@@ -62,13 +94,28 @@ class Core:
         # One-shot token set by ScheduleController.release: lets the
         # parked continuation pass the gate exactly once.
         self._release_granted = False
+        # In-flight retry state (one op in flight on an in-order core).
+        self._rmw_state: Optional[tuple] = None
+        self._spin_op: Optional[isa.WaitLoad] = None
+        self._spin_retry_at = 0
+        # Callbacks prebound once so the hot path schedules (method, arg)
+        # pairs instead of allocating a closure per operation.
+        self._cb_step = self._step
+        self._cb_finish_load = self._finish_load
+        self._cb_retry_load = self._retry_load
+        self._cb_retry_store = self._retry_store
+        self._cb_retry_rmw = self._retry_rmw
+        self._cb_spin_probe = self._spin_probe
+        self._cb_spin_probe_issue = self._spin_probe_issue
+        self._cb_spin_retry = self._retry_spin_probe
+        self._cb_on_invalidated = self._on_invalidated
 
     # -- lifecycle ----------------------------------------------------------
 
     def start(self, program: Generator) -> None:
         """Begin executing ``program`` at cycle 0."""
         self._gen = program
-        self.sim.schedule_at(0, lambda: self._step(None))
+        self.sim.call_at(0, self._cb_step, None)
 
     @property
     def done(self) -> bool:
@@ -80,42 +127,55 @@ class Core:
         return self._bucket_stack[-1] if self._bucket_stack else None
 
     def _account(self, component: TimeComponent, cycles: int) -> None:
+        # Accounting runs several times per memory operation, so both
+        # methods write the breakdown array directly instead of going
+        # through TimeBreakdown.add.
         if cycles <= 0:
             return
-        override = self._bucket()
-        self.time.add(override if override is not None else component, cycles)
+        stack = self._bucket_stack
+        self._tc[(stack[-1] if stack else component).idx] += cycles
 
     def _account_access(self, access: Access) -> None:
         """One compute cycle to issue, the rest of the latency as stall."""
+        lat = access.latency
+        if lat <= 0:
+            return
+        tc = self._tc
+        stack = self._bucket_stack
         if access.retry:
             # Waiting out a busy directory is pure memory stall.
-            self._account(TimeComponent.MEMORY_STALL, access.latency)
+            tc[stack[-1].idx if stack else _IDX_MEMORY_STALL] += lat
             return
-        self._account(TimeComponent.COMPUTE, min(access.latency, 1))
-        if access.latency > 1:
-            self._account(TimeComponent.MEMORY_STALL, access.latency - 1)
+        if stack:
+            # Both the compute and the stall share go to the override
+            # bucket, so they collapse into one add.
+            tc[stack[-1].idx] += lat
+        else:
+            tc[_IDX_COMPUTE] += 1
+            if lat > 1:
+                tc[_IDX_MEMORY_STALL] += lat - 1
 
     # -- the dispatch loop --------------------------------------------------------
 
     def _step(self, send_value) -> None:
         """Resume the program with ``send_value`` and run its next operation."""
-        assert self._gen is not None
         # Resuming the generator is the retirement point of the previous
         # operation: stamp global progress for the liveness watchdog.
-        self.sim.progress_cycle = self.sim.now
+        sim = self.sim
+        sim.progress_cycle = sim.now
         try:
             op = self._gen.send(send_value)
         except StopIteration:
-            self.finish_time = self.sim.now
+            self.finish_time = sim.now
             self.pending_op = None
             self.wait_reason = None
             return
         self.pending_op = op
-        self.blocked_since = self.sim.now
+        self.blocked_since = sim.now
         self._dispatch(op)
 
     def _resume_after(self, delay: int, value=None) -> None:
-        self.sim.schedule_after(delay, lambda: self._step(value))
+        self.sim.call_after(delay, self._cb_step, value)
 
     def _gate(self, op, cont) -> bool:
         """Park at a scheduling decision point; True if parked.
@@ -138,66 +198,80 @@ class Core:
         return True
 
     def _dispatch(self, op) -> None:
-        if isinstance(op, GATED_OPS) and self._gate(op, lambda: self._dispatch(op)):
+        sim = self.sim
+        if (
+            sim.controller is not None
+            and isinstance(op, GATED_OPS)
+            and self._gate(op, lambda: self._dispatch(op))
+        ):
             return
-        self.protocol.set_time(self.sim.now)
-        if isinstance(op, isa.Compute):
-            self.wait_reason = "compute"
-            self._account(op.component, op.cycles)
-            self._resume_after(op.cycles)
-        elif isinstance(op, isa.Load):
-            self._issue_load(op)
-        elif isinstance(op, isa.Store):
-            self._issue_store(op)
-        elif isinstance(op, isa.Cas):
-            self._issue_rmw(
-                op.addr,
-                lambda old: op.new if old == op.expected else None,
-                op.release,
-                acquire=op.acquire,
-            )
-        elif isinstance(op, isa.Fai):
-            self._issue_rmw(
-                op.addr, lambda old: old + op.delta, op.release, acquire=op.acquire
-            )
-        elif isinstance(op, isa.Swap):
-            self._issue_rmw(
-                op.addr, lambda old: op.value, op.release, acquire=op.acquire
-            )
-        elif isinstance(op, isa.WaitLoad):
-            self._spin_probe(op)
-        elif isinstance(op, isa.SelfInvalidate):
-            self.wait_reason = "self-invalidate"
-            latency = self.protocol.self_invalidate(
-                self.core_id, list(op.regions), flush_all=op.flush_all
-            )
-            self._account(TimeComponent.COMPUTE, latency)
-            self._resume_after(latency)
-        elif isinstance(op, isa.PushBucket):
-            self._bucket_stack.append(op.component)
-            self._step(None)
-        elif isinstance(op, isa.PopBucket):
-            if not self._bucket_stack:
-                raise RuntimeError(f"core {self.core_id}: PopBucket with empty stack")
-            self._bucket_stack.pop()
-            self._step(None)
+        if self._fast_time:
+            self.protocol.now = sim.now
         else:
+            self.protocol.set_time(sim.now)
+        handler = _HANDLERS.get(op.__class__)
+        if handler is None:
             raise TypeError(f"core {self.core_id}: unknown operation {op!r}")
+        handler(self, op)
+
+    # -- per-class handlers (wired into _HANDLERS below) ----------------------
+
+    def _h_compute(self, op: isa.Compute) -> None:
+        self.wait_reason = "compute"
+        self._account(op.component, op.cycles)
+        self._resume_after(op.cycles)
+
+    def _h_cas(self, op: isa.Cas) -> None:
+        self._issue_rmw(
+            op.addr,
+            lambda old: op.new if old == op.expected else None,
+            op.release,
+            acquire=op.acquire,
+        )
+
+    def _h_fai(self, op: isa.Fai) -> None:
+        self._issue_rmw(
+            op.addr, lambda old: old + op.delta, op.release, acquire=op.acquire
+        )
+
+    def _h_swap(self, op: isa.Swap) -> None:
+        self._issue_rmw(op.addr, lambda old: op.value, op.release, acquire=op.acquire)
+
+    def _h_self_invalidate(self, op: isa.SelfInvalidate) -> None:
+        self.wait_reason = "self-invalidate"
+        latency = self.protocol.self_invalidate(
+            self.core_id, list(op.regions), flush_all=op.flush_all
+        )
+        self._account(TimeComponent.COMPUTE, latency)
+        self._resume_after(latency)
+
+    def _h_push_bucket(self, op: isa.PushBucket) -> None:
+        self._bucket_stack.append(op.component)
+        self._step(None)
+
+    def _h_pop_bucket(self, op: isa.PopBucket) -> None:
+        if not self._bucket_stack:
+            raise RuntimeError(f"core {self.core_id}: PopBucket with empty stack")
+        self._bucket_stack.pop()
+        self._step(None)
 
     # -- loads (with hardware backoff) ------------------------------------------
 
     def _issue_load(self, op: isa.Load) -> None:
-        if op.sync:
+        if op.sync and self._has_backoff:
             backoff = self.protocol.sync_read_backoff(self.core_id, op.addr)
             if backoff > 0:
                 self.wait_reason = "hw-backoff"
                 self._account(TimeComponent.HW_BACKOFF, backoff)
-                self.sim.schedule_after(backoff, lambda: self._finish_load(op))
+                self.sim.call_after(backoff, self._cb_finish_load, op)
                 return
         self._finish_load(op)
 
     def _finish_load(self, op: isa.Load, ticketed: bool = False) -> None:
-        self.protocol.set_time(self.sim.now)
+        if self._fast_time:
+            self.protocol.now = self.sim.now
+        else:
+            self.protocol.set_time(self.sim.now)
         access = self.protocol.load(
             self.core_id, op.addr, sync=op.sync, ticketed=ticketed,
             acquire=op.acquire,
@@ -205,15 +279,19 @@ class Core:
         self._account_access(access)
         if access.retry:
             self.wait_reason = "directory-retry"
-            self.sim.schedule_after(
-                access.latency, lambda: self._finish_load(op, ticketed=True)
-            )
+            self.sim.call_after(access.latency, self._cb_retry_load, op)
             return
         self.wait_reason = "memory-access"
         self._resume_after(access.latency, access.value)
 
+    def _retry_load(self, op: isa.Load) -> None:
+        self._finish_load(op, ticketed=True)
+
     def _issue_store(self, op: isa.Store, ticketed: bool = False) -> None:
-        self.protocol.set_time(self.sim.now)
+        if self._fast_time:
+            self.protocol.now = self.sim.now
+        else:
+            self.protocol.set_time(self.sim.now)
         access = self.protocol.store(
             self.core_id,
             op.addr,
@@ -225,18 +303,22 @@ class Core:
         self._account_access(access)
         if access.retry:
             self.wait_reason = "directory-retry"
-            self.sim.schedule_after(
-                access.latency, lambda: self._issue_store(op, ticketed=True)
-            )
+            self.sim.call_after(access.latency, self._cb_retry_store, op)
             return
         self.wait_reason = "memory-access"
         self._resume_after(access.latency, access.value)
+
+    def _retry_store(self, op: isa.Store) -> None:
+        self._issue_store(op, ticketed=True)
 
     def _issue_rmw(
         self, addr: int, fn, release: bool, ticketed: bool = False,
         acquire: bool = False,
     ) -> None:
-        self.protocol.set_time(self.sim.now)
+        if self._fast_time:
+            self.protocol.now = self.sim.now
+        else:
+            self.protocol.set_time(self.sim.now)
         access = self.protocol.rmw(
             self.core_id, addr, fn, release=release, ticketed=ticketed,
             acquire=acquire,
@@ -244,45 +326,51 @@ class Core:
         self._account_access(access)
         if access.retry:
             self.wait_reason = "directory-retry"
-            self.sim.schedule_after(
-                access.latency,
-                lambda: self._issue_rmw(
-                    addr, fn, release, ticketed=True, acquire=acquire
-                ),
-            )
+            self._rmw_state = (addr, fn, release, acquire)
+            self.sim.call_after(access.latency, self._cb_retry_rmw, None)
             return
         self.wait_reason = "memory-access"
         self._resume_after(access.latency, access.value)
+
+    def _retry_rmw(self, _unused) -> None:
+        addr, fn, release, acquire = self._rmw_state
+        self._issue_rmw(addr, fn, release, ticketed=True, acquire=acquire)
 
     # -- spin-wait ------------------------------------------------------------------
 
     def _spin_probe(self, op: isa.WaitLoad) -> None:
         """One probe of a spin-wait; reschedules itself until ``pred`` holds."""
-        if self._gate(op, lambda: self._spin_probe(op)):
+        if self.sim.controller is not None and self._gate(
+            op, lambda: self._spin_probe(op)
+        ):
             return
-        self.protocol.set_time(self.sim.now)
-        if op.sync:
+        if self._fast_time:
+            self.protocol.now = self.sim.now
+        else:
+            self.protocol.set_time(self.sim.now)
+        if op.sync and self._has_backoff:
             backoff = self.protocol.sync_read_backoff(
                 self.core_id, op.addr, spinning=True
             )
             if backoff > 0:
                 self.wait_reason = "hw-backoff"
                 self._account(TimeComponent.HW_BACKOFF, backoff)
-                self.sim.schedule_after(backoff, lambda: self._spin_probe_issue(op))
+                self.sim.call_after(backoff, self._cb_spin_probe_issue, op)
                 return
         self._spin_probe_issue(op)
 
     def _spin_probe_issue(self, op: isa.WaitLoad, ticketed: bool = False) -> None:
-        self.protocol.set_time(self.sim.now)
+        if self._fast_time:
+            self.protocol.now = self.sim.now
+        else:
+            self.protocol.set_time(self.sim.now)
         access = self.protocol.load(
             self.core_id, op.addr, sync=op.sync, ticketed=ticketed
         )
         self._account_access(access)
         if access.retry:
             self.wait_reason = "directory-retry"
-            self.sim.schedule_after(
-                access.latency, lambda: self._spin_probe_issue(op, ticketed=True)
-            )
+            self.sim.call_after(access.latency, self._cb_spin_retry, op)
             return
         if op.pred(access.value):
             if op.acquire:
@@ -294,15 +382,10 @@ class Core:
         # Failed probe: wait for our copy to change if the protocol can tell
         # us (MESI), otherwise poll again after the probe completes.
         retry_at = self.sim.now + access.latency
-
-        def on_invalidated(wake_time: int) -> None:
-            wake = max(wake_time, retry_at)
-            # The wait itself is local spinning on a cached copy: compute.
-            self._account(TimeComponent.COMPUTE, max(0, wake - retry_at))
-            self.sim.schedule_at(wake, lambda: self._spin_probe(op))
-
+        self._spin_op = op
+        self._spin_retry_at = retry_at
         subscribed = self.protocol.subscribe_line_change(
-            self.core_id, op.addr, on_invalidated
+            self.core_id, op.addr, self._cb_on_invalidated
         )
         if subscribed:
             # Sleeping with no scheduled event of our own: only the
@@ -312,6 +395,32 @@ class Core:
         else:
             self.wait_reason = "spin-poll"
             self._account(TimeComponent.COMPUTE, SPIN_LOOP_OVERHEAD)
-            self.sim.schedule_at(
-                retry_at + SPIN_LOOP_OVERHEAD, lambda: self._spin_probe(op)
+            self.sim.call_at(
+                retry_at + SPIN_LOOP_OVERHEAD, self._cb_spin_probe, op
             )
+
+    def _retry_spin_probe(self, op: isa.WaitLoad) -> None:
+        self._spin_probe_issue(op, ticketed=True)
+
+    def _on_invalidated(self, wake_time: int) -> None:
+        retry_at = self._spin_retry_at
+        wake = wake_time if wake_time > retry_at else retry_at
+        # The wait itself is local spinning on a cached copy: compute.
+        self._account(TimeComponent.COMPUTE, wake - retry_at)
+        self.sim.call_at(wake, self._cb_spin_probe, self._spin_op)
+
+
+#: Operation dispatch: one dict lookup on the op's exact class instead of
+#: a nine-way isinstance chain per operation.
+_HANDLERS = {
+    isa.Compute: Core._h_compute,
+    isa.Load: Core._issue_load,
+    isa.Store: Core._issue_store,
+    isa.Cas: Core._h_cas,
+    isa.Fai: Core._h_fai,
+    isa.Swap: Core._h_swap,
+    isa.WaitLoad: Core._spin_probe,
+    isa.SelfInvalidate: Core._h_self_invalidate,
+    isa.PushBucket: Core._h_push_bucket,
+    isa.PopBucket: Core._h_pop_bucket,
+}

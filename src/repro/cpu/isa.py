@@ -22,7 +22,7 @@ from repro.mem.regions import Region
 from repro.stats.timeparts import TimeComponent
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Compute:
     """Spend ``cycles`` cycles of local work, charged to ``component``."""
 
@@ -30,7 +30,7 @@ class Compute:
     component: TimeComponent = TimeComponent.COMPUTE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Load:
     """Read a word; returns its value.
 
@@ -44,7 +44,7 @@ class Load:
     acquire: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Store:
     """Write a word.  Data stores are non-blocking; sync stores block.
 
@@ -57,7 +57,7 @@ class Store:
     release: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Cas:
     """Compare-and-swap; returns the old value (success iff old == expected)."""
 
@@ -68,7 +68,7 @@ class Cas:
     acquire: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Fai:
     """Fetch-and-increment by ``delta``; returns the old value."""
 
@@ -78,7 +78,7 @@ class Fai:
     acquire: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Swap:
     """Atomic exchange (test-and-set is ``Swap(addr, 1)``); returns old."""
 
@@ -88,7 +88,7 @@ class Swap:
     acquire: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WaitLoad:
     """Spin on (sync) loads of ``addr`` until ``pred(value)``; returns it.
 
@@ -100,7 +100,7 @@ class WaitLoad:
     acquire: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SelfInvalidate:
     """Self-invalidate the Valid words of ``regions`` (DeNovo acquires).
 
@@ -113,13 +113,13 @@ class SelfInvalidate:
     flush_all: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PushBucket:
     """Route all subsequent cycle accounting to ``component`` (stacked)."""
 
     component: TimeComponent
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PopBucket:
     """Undo the innermost :class:`PushBucket`."""

@@ -273,11 +273,8 @@ def _run_sanitize(args) -> int:
     return 0 if report.clean else 1
 
 
-def _run_single(args) -> int:
-    """The ``run`` target: one workload, one protocol, full detail."""
-    from repro.config import config_for_cores
-    from repro.harness.runner import run_workload
-    from repro.stats.energy import EnergyModel
+def _build_workload(args):
+    """Resolve ``--workload family/name`` into (workload, core count)."""
     from repro.workloads.base import KernelSpec
 
     spec = args.workload
@@ -303,6 +300,53 @@ def _run_single(args) -> int:
             f"--workload must be family/name (e.g. tatas/counter, app/LU, "
             f"micro/pingpong), got {spec!r}"
         )
+    return workload, cores
+
+
+def _run_profile(args) -> int:
+    """The ``profile`` target: cProfile one run, print hot functions.
+
+    Profiles exactly what ``run`` executes (workload build excluded, so
+    the numbers are all simulation) and prints the top functions by
+    cumulative time — the first place to look before optimizing, and the
+    quickest way to confirm a change moved the needle.
+    """
+    import cProfile
+    import pstats
+
+    from repro.config import config_for_cores
+    from repro.harness.runner import run_workload
+
+    workload, cores = _build_workload(args)
+    overrides = {}
+    if args.invariant_level is not None:
+        overrides["invariant_level"] = args.invariant_level
+    config = config_for_cores(cores, **overrides)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_workload(workload, args.protocol, config, seed=args.seed)
+    profiler.disable()
+
+    print(
+        f"{result.workload} under {result.protocol} on {cores} cores: "
+        f"{result.cycles} cycles"
+    )
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(args.top)
+    if args.profile_out:
+        stats.dump_stats(args.profile_out)
+        print(f"raw profile -> {args.profile_out} (pstats/snakeviz readable)")
+    return 0
+
+
+def _run_single(args) -> int:
+    """The ``run`` target: one workload, one protocol, full detail."""
+    from repro.config import config_for_cores
+    from repro.harness.runner import run_workload
+    from repro.stats.energy import EnergyModel
+
+    workload, cores = _build_workload(args)
 
     overrides = {}
     if args.invariant_level is not None:
@@ -361,7 +405,8 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate the DeNovoSync (ASPLOS'15) evaluation figures.",
     )
     parser.add_argument(
-        "target", choices=ALL_TARGETS + ["all", "run", "chaos", "mc", "sanitize"]
+        "target",
+        choices=ALL_TARGETS + ["all", "run", "profile", "chaos", "mc", "sanitize"],
     )
     parser.add_argument(
         "--workload", default=None,
@@ -376,6 +421,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--trace", default=None,
         help="for 'run': write a JSONL access trace to this path",
+    )
+    parser.add_argument(
+        "--top", type=int, default=25,
+        help="for 'profile': number of functions to print (default 25)",
+    )
+    parser.add_argument(
+        "--profile-out", default=None,
+        help="for 'profile': also dump the raw cProfile stats to this path",
     )
     parser.add_argument(
         "--cores", type=int, nargs="+", default=[16, 64],
@@ -490,6 +543,10 @@ def main(argv: list[str] | None = None) -> int:
         if args.workload is None:
             parser.error("'run' requires --workload family/name")
         return _run_single(args)
+    if args.target == "profile":
+        if args.workload is None:
+            parser.error("'profile' requires --workload family/name")
+        return _run_profile(args)
     if args.target == "chaos":
         return _run_chaos(args)
     if args.target == "mc":

@@ -49,7 +49,9 @@ class _SetAssocDirectory:
         return self._sets[line % self.num_sets]
 
     def get(self, line: int, touch: bool = True):
-        group = self._set_of(line)
+        # Set indexing is inlined here (and in put/pop): this runs once or
+        # more per simulated memory operation.
+        group = self._sets[line % self.num_sets]
         entry = group.get(line)
         if entry is not None and touch:
             group.move_to_end(line)
@@ -57,7 +59,7 @@ class _SetAssocDirectory:
 
     def put(self, line: int, entry) -> Optional[tuple[int, object]]:
         """Insert/replace ``line``; return an evicted (line, entry) or None."""
-        group = self._set_of(line)
+        group = self._sets[line % self.num_sets]
         victim = None
         if line not in group and len(group) >= self.assoc:
             victim = group.popitem(last=False)
@@ -78,7 +80,7 @@ class _SetAssocDirectory:
         group[line] = entry
 
     def pop(self, line: int):
-        return self._set_of(line).pop(line, None)
+        return self._sets[line % self.num_sets].pop(line, None)
 
     def __iter__(self):
         for group in self._sets:
@@ -94,9 +96,17 @@ class MesiL1:
     def __init__(self, core_id: int, config: SystemConfig) -> None:
         self.core_id = core_id
         self._dir = _SetAssocDirectory(config)
+        # state_of runs once or more per memory operation: index the
+        # directory's sets directly rather than through _dir.get.
+        self._dsets = self._dir._sets
+        self._dnsets = self._dir.num_sets
 
     def state_of(self, line: int, touch: bool = True) -> Optional[MesiState]:
-        return self._dir.get(line, touch=touch)
+        group = self._dsets[line % self._dnsets]
+        entry = group.get(line)
+        if entry is not None and touch:
+            group.move_to_end(line)
+        return entry
 
     def insert(self, line: int, state: MesiState) -> Optional[tuple[int, MesiState]]:
         """Fill ``line`` in ``state``; return the evicted (line, state) if any."""
@@ -160,30 +170,129 @@ class DeNovoL1:
     ) -> None:
         self.core_id = core_id
         self.amap = amap
+        # Inlined address math for the per-word hot paths: every standard
+        # geometry is power-of-two, so state/value lookups use shift/mask
+        # directly; ``line_shift is None`` falls back to the AddressMap
+        # methods (see repro.mem.address).
+        self._line_shift = amap.line_shift
+        self._off_mask = amap.offset_mask
         self._dir = _SetAssocDirectory(config)
+        # state_of/value_of run several times per memory operation, so
+        # they index the directory's sets directly (one dict get instead
+        # of a method-call layer).
+        self._dsets = self._dir._sets
+        self._dnsets = self._dir.num_sets
         self._on_evict_registered = on_evict_registered
         # region_id -> set of word addresses currently Valid, for O(1)
         # selective self-invalidation.
         self._valid_by_region: dict[int, set[int]] = {}
         self._region_of_addr: Callable[[int], Optional[int]] = lambda addr: None
+        # Optional live view of the allocator's addr -> Region dict; when
+        # installed, valid-word tracking reads it directly (one dict get)
+        # instead of making two calls per lookup.  The dict is mutated in
+        # place by the allocator, so the reference never goes stale.
+        self._region_map: Optional[dict] = None
 
-    def set_region_lookup(self, lookup: Callable[[int], Optional[int]]) -> None:
+    def set_region_lookup(
+        self,
+        lookup: Callable[[int], Optional[int]],
+        region_map: Optional[dict] = None,
+    ) -> None:
         """Install the allocator's address -> region-id mapping."""
         self._region_of_addr = lookup
+        self._region_map = region_map
 
     # -- state queries ----------------------------------------------------
 
     def state_of(self, addr: int, touch: bool = True) -> DeNovoState:
-        frame = self._dir.get(self.amap.line_of(addr), touch=touch)
+        shift = self._line_shift
+        if shift is not None:
+            line, off = addr >> shift, addr & self._off_mask
+        else:
+            line, off = self.amap.line_of(addr), self.amap.word_in_line(addr)
+        group = self._dsets[line % self._dnsets]
+        frame = group.get(line)
         if frame is None:
             return DeNovoState.INVALID
-        return frame.states.get(self.amap.word_in_line(addr), DeNovoState.INVALID)
+        if touch:
+            group.move_to_end(line)
+        return frame.states.get(off, DeNovoState.INVALID)
 
-    def value_of(self, addr: int) -> Optional[int]:
-        frame = self._dir.get(self.amap.line_of(addr), touch=False)
+    def present_value(self, addr: int) -> Optional[int]:
+        """Value of ``addr`` if Valid or Registered here, else None.
+
+        Combines the ``state_of`` + ``value_of`` pair of the data-access
+        hit check into one directory lookup.  LRU semantics match
+        ``state_of(touch=True)``: a resident line is touched even when
+        the word itself is absent.  (Stored values are ints, so None is
+        unambiguous.)
+        """
+        shift = self._line_shift
+        if shift is not None:
+            line, off = addr >> shift, addr & self._off_mask
+        else:
+            line, off = self.amap.line_of(addr), self.amap.word_in_line(addr)
+        group = self._dsets[line % self._dnsets]
+        frame = group.get(line)
         if frame is None:
             return None
-        return frame.values.get(self.amap.word_in_line(addr))
+        group.move_to_end(line)
+        if off in frame.states:
+            return frame.values[off]
+        return None
+
+    def registered_value(self, addr: int) -> Optional[int]:
+        """Value of ``addr`` if Registered here, else None (one lookup).
+
+        The sync-access hit check: Valid does not count as a usable copy
+        for synchronization reads.  Touch semantics as ``state_of``.
+        """
+        shift = self._line_shift
+        if shift is not None:
+            line, off = addr >> shift, addr & self._off_mask
+        else:
+            line, off = self.amap.line_of(addr), self.amap.word_in_line(addr)
+        group = self._dsets[line % self._dnsets]
+        frame = group.get(line)
+        if frame is None:
+            return None
+        group.move_to_end(line)
+        if frame.states.get(off) is DeNovoState.REGISTERED:
+            return frame.values[off]
+        return None
+
+    def try_write_registered(self, addr: int, value: int) -> bool:
+        """Write ``addr`` if Registered here; True on success.
+
+        One directory lookup for the ``state_of`` + ``write_word`` pair
+        of the store hit path (both of which touch the line, so a single
+        touch is equivalent).
+        """
+        shift = self._line_shift
+        if shift is not None:
+            line, off = addr >> shift, addr & self._off_mask
+        else:
+            line, off = self.amap.line_of(addr), self.amap.word_in_line(addr)
+        group = self._dsets[line % self._dnsets]
+        frame = group.get(line)
+        if frame is None:
+            return False
+        group.move_to_end(line)
+        if frame.states.get(off) is not DeNovoState.REGISTERED:
+            return False
+        frame.values[off] = value
+        return True
+
+    def value_of(self, addr: int) -> Optional[int]:
+        shift = self._line_shift
+        if shift is not None:
+            line, off = addr >> shift, addr & self._off_mask
+        else:
+            line, off = self.amap.line_of(addr), self.amap.word_in_line(addr)
+        frame = self._dsets[line % self._dnsets].get(line)
+        if frame is None:
+            return None
+        return frame.values.get(off)
 
     # -- fills and upgrades -----------------------------------------------
 
@@ -200,31 +309,70 @@ class DeNovoL1:
         """Install ``addr`` with ``value`` in ``state`` (Valid or Registered)."""
         if state is DeNovoState.INVALID:
             raise ValueError("cannot fill a word in Invalid state")
-        line = self.amap.line_of(addr)
-        frame = self._frame_for(line)
-        off = self.amap.word_in_line(addr)
+        shift = self._line_shift
+        if shift is not None:
+            line, off = addr >> shift, addr & self._off_mask
+        else:
+            line, off = self.amap.line_of(addr), self.amap.word_in_line(addr)
+        group = self._dsets[line % self._dnsets]
+        frame = group.get(line)
+        if frame is not None:
+            group.move_to_end(line)
+        else:
+            frame = DeNovoFrame()
+            victim = self._dir.put(line, frame)
+            if victim is not None:
+                self._evict_frame(*victim)
         old = frame.states.get(off)
         frame.states[off] = state
         frame.values[off] = value
-        self._untrack_valid(addr, old)
+        # _track_valid/_untrack_valid inlined: the common sync-path fill
+        # (Registered over Registered/absent) takes neither branch and
+        # pays no region lookup at all.
+        if old is DeNovoState.VALID:
+            rmap = self._region_map
+            if rmap is not None:
+                region = rmap.get(addr)
+                region_id = region.region_id if region is not None else None
+            else:
+                region_id = self._region_of_addr(addr)
+            bucket = self._valid_by_region.get(region_id)
+            if bucket is not None:
+                bucket.discard(addr)
         if state is DeNovoState.VALID:
-            self._track_valid(addr)
+            rmap = self._region_map
+            if rmap is not None:
+                region = rmap.get(addr)
+                region_id = region.region_id if region is not None else None
+            else:
+                region_id = self._region_of_addr(addr)
+            self._valid_by_region.setdefault(region_id, set()).add(addr)
 
     def write_word(self, addr: int, value: int) -> None:
         """Update the value of a word already Registered here."""
-        frame = self._dir.get(self.amap.line_of(addr))
-        off = self.amap.word_in_line(addr)
+        shift = self._line_shift
+        if shift is not None:
+            line, off = addr >> shift, addr & self._off_mask
+        else:
+            line, off = self.amap.line_of(addr), self.amap.word_in_line(addr)
+        group = self._dsets[line % self._dnsets]
+        frame = group.get(line)
+        if frame is not None:
+            group.move_to_end(line)
         if frame is None or frame.states.get(off) is not DeNovoState.REGISTERED:
             raise KeyError(f"word {addr} not Registered in L1 {self.core_id}")
         frame.values[off] = value
 
     def downgrade(self, addr: int, to: DeNovoState) -> None:
         """Registered -> Valid/Invalid (remote registration took ownership)."""
-        line = self.amap.line_of(addr)
-        frame = self._dir.get(line, touch=False)
+        shift = self._line_shift
+        if shift is not None:
+            line, off = addr >> shift, addr & self._off_mask
+        else:
+            line, off = self.amap.line_of(addr), self.amap.word_in_line(addr)
+        frame = self._dsets[line % self._dnsets].get(line)
         if frame is None:
             return
-        off = self.amap.word_in_line(addr)
         old = frame.states.get(off)
         if old is not DeNovoState.REGISTERED:
             return
@@ -237,11 +385,14 @@ class DeNovoL1:
 
     def invalidate_word(self, addr: int) -> None:
         """Drop one word regardless of state (no writeback)."""
-        line = self.amap.line_of(addr)
-        frame = self._dir.get(line, touch=False)
+        shift = self._line_shift
+        if shift is not None:
+            line, off = addr >> shift, addr & self._off_mask
+        else:
+            line, off = self.amap.line_of(addr), self.amap.word_in_line(addr)
+        frame = self._dsets[line % self._dnsets].get(line)
         if frame is None:
             return
-        off = self.amap.word_in_line(addr)
         old = frame.states.pop(off, None)
         frame.values.pop(off, None)
         self._untrack_valid(addr, old)
@@ -281,13 +432,23 @@ class DeNovoL1:
     # -- internals ----------------------------------------------------------
 
     def _track_valid(self, addr: int) -> None:
-        region_id = self._region_of_addr(addr)
+        rmap = self._region_map
+        if rmap is not None:
+            region = rmap.get(addr)
+            region_id = region.region_id if region is not None else None
+        else:
+            region_id = self._region_of_addr(addr)
         self._valid_by_region.setdefault(region_id, set()).add(addr)
 
     def _untrack_valid(self, addr: int, old_state: Optional[DeNovoState]) -> None:
         if old_state is not DeNovoState.VALID:
             return
-        region_id = self._region_of_addr(addr)
+        rmap = self._region_map
+        if rmap is not None:
+            region = rmap.get(addr)
+            region_id = region.region_id if region is not None else None
+        else:
+            region_id = self._region_of_addr(addr)
         bucket = self._valid_by_region.get(region_id)
         if bucket is not None:
             bucket.discard(addr)

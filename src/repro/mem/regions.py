@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from repro.mem.address import AddressMap
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Region:
     """A named region of shared memory, the unit of self-invalidation."""
 

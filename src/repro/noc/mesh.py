@@ -6,6 +6,13 @@ Distances are Manhattan (dimension-ordered routing).  Latency for an access
 is interpolated between the Table 1 min (0 hops) and max (farthest tile)
 for the relevant access class, so the simulated system reproduces the
 paper's latency ranges exactly.
+
+Every value is a pure function of the (static) topology, so the
+constructor precomputes them once — the hop matrix, the nearest
+controller per tile, per-(core, bank) interpolated latency matrices and a
+per-leg remote-L1 table — and the public methods become table lookups.
+The tables are filled by evaluating the original closed-form expressions,
+so the numbers are bit-for-bit what the formulas produce.
 """
 
 from __future__ import annotations
@@ -20,6 +27,52 @@ class Mesh:
         self.config = config
         self.side = config.mesh_side
         self._controller_tiles = self._corner_tiles()
+        n = self._num_tiles = config.num_cores
+        max_hops = config.max_hops
+
+        # Hop matrix (flat, row-major: hops(src, dst) = _hops[src * n + dst]).
+        coords = [self._coords_of(tile) for tile in range(n)]
+        hops = [0] * (n * n)
+        for src, (sx, sy) in enumerate(coords):
+            row = src * n
+            for dst, (dx, dy) in enumerate(coords):
+                hops[row + dst] = abs(sx - dx) + abs(sy - dy)
+        self._hops = hops
+
+        self._nearest_controller = [
+            min(self._controller_tiles, key=lambda c: (hops[tile * n + c], c))
+            for tile in range(n)
+        ]
+
+        # Per-leg latency tables (a leg never exceeds 2 * (side - 1) hops).
+        leg_range = range(2 * (self.side - 1) + 1)
+        self._l2_by_leg = [
+            config.l2_hit_latency.interpolate(leg, max_hops) for leg in leg_range
+        ]
+        self._remote_by_leg = [
+            config.remote_l1_latency.interpolate(leg, max_hops) for leg in leg_range
+        ]
+        self._memory_by_leg = [
+            config.memory_latency.interpolate(leg, max_hops) for leg in leg_range
+        ]
+
+        # Per-(core, bank) matrices for the two-argument lookups.
+        self._l2_latency = [self._l2_by_leg[h] for h in hops]
+        memory_latency = [0] * (n * n)
+        inv_rtt = [0] * (n * n)
+        per_hop = self.per_hop_cycles()
+        inv_processing = config.tuning.inv_processing
+        for a in range(n):
+            row = a * n
+            for b in range(n):
+                controller = self._nearest_controller[b]
+                leg = max(hops[row + b], hops[b * n + controller])
+                memory_latency[row + b] = self._memory_by_leg[leg]
+                inv_rtt[row + b] = (
+                    round(2 * hops[row + b] * per_hop) + inv_processing
+                )
+        self._memory_latency = memory_latency
+        self._inv_round_trip = inv_rtt
 
     def _corner_tiles(self) -> tuple[int, ...]:
         """Tile ids of the four on-chip memory controllers (mesh corners)."""
@@ -28,29 +81,31 @@ class Mesh:
             return (0,)
         return (0, side - 1, side * (side - 1), side * side - 1)
 
+    def _coords_of(self, tile: int) -> tuple[int, int]:
+        return tile % self.side, tile // self.side
+
     def coords(self, tile: int) -> tuple[int, int]:
         """(x, y) coordinates of a tile id."""
-        if not 0 <= tile < self.config.num_cores:
+        if not 0 <= tile < self._num_tiles:
             raise ValueError(f"tile {tile} out of range")
-        return tile % self.side, tile // self.side
+        return self._coords_of(tile)
 
     def hops(self, src: int, dst: int) -> int:
         """One-way Manhattan hop distance between two tiles."""
-        sx, sy = self.coords(src)
-        dx, dy = self.coords(dst)
-        return abs(sx - dx) + abs(sy - dy)
+        n = self._num_tiles
+        if not (0 <= src < n and 0 <= dst < n):
+            raise ValueError(f"tile {src if not 0 <= src < n else dst} out of range")
+        return self._hops[src * n + dst]
 
     def nearest_controller(self, tile: int) -> int:
         """Tile id of the memory controller closest to ``tile``."""
-        return min(self._controller_tiles, key=lambda c: (self.hops(tile, c), c))
+        return self._nearest_controller[tile]
 
     # -- latency interpolation over Table 1 ranges ------------------------
 
     def l2_access_latency(self, core: int, bank: int) -> int:
         """Latency of an L1 miss serviced at LLC bank ``bank`` (round trip)."""
-        return self.config.l2_hit_latency.interpolate(
-            self.hops(core, bank), self.config.max_hops
-        )
+        return self._l2_latency[core * self._num_tiles + bank]
 
     def remote_l1_latency(self, core: int, bank: int, owner: int) -> int:
         """Latency of an L1 miss forwarded by the home bank to a remote L1.
@@ -58,14 +113,15 @@ class Mesh:
         Interpolated over the longer of the two legs (home, owner) so the
         0-hop case costs the Table 1 minimum and the farthest case the max.
         """
-        leg = max(self.hops(core, bank), self.hops(bank, owner))
-        return self.config.remote_l1_latency.interpolate(leg, self.config.max_hops)
+        n = self._num_tiles
+        hops = self._hops
+        a = hops[core * n + bank]
+        b = hops[bank * n + owner]
+        return self._remote_by_leg[a if a > b else b]
 
     def memory_latency(self, core: int, bank: int) -> int:
         """Latency of an access that misses the LLC and goes to memory."""
-        controller = self.nearest_controller(bank)
-        leg = max(self.hops(core, bank), self.hops(bank, controller))
-        return self.config.memory_latency.interpolate(leg, self.config.max_hops)
+        return self._memory_latency[core * self._num_tiles + bank]
 
     def per_hop_cycles(self) -> float:
         """One-way per-hop network cost implied by the Table 1 L2 range."""
@@ -81,5 +137,4 @@ class Mesh:
         the sharer.  Charged on the critical path of a MESI write/upgrade
         (write atomicity: the write completes only after all acks).
         """
-        processing = self.config.tuning.inv_processing
-        return round(2 * self.hops(bank, sharer) * self.per_hop_cycles()) + processing
+        return self._inv_round_trip[bank * self._num_tiles + sharer]

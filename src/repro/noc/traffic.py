@@ -4,51 +4,99 @@ The paper's traffic metric is "flit crossings across all network links":
 a message of F flits traversing H links contributes F * H units.  Messages
 between co-located units (a core and its own LLC bank) cross zero links
 and contribute nothing.
+
+``record`` runs once per protocol message, so the per-class counts are
+fixed-size int lists indexed by ``MessageClass.<member>.idx`` instead of
+``Counter[MessageClass]`` (enum hashing is slow Python-level code).  Keys
+outside :class:`MessageClass` — say a protocol extension's private enum —
+land in a side table, which makes :meth:`breakdown` *total* by
+construction: every key ever recorded appears in it, and every
+``MessageClass`` member appears even at zero.
 """
 
 from __future__ import annotations
 
-from collections import Counter
-
 from repro.noc.messages import MessageClass
+
+#: Dense ordinal used to index the per-class arrays.
+for _i, _klass in enumerate(MessageClass):
+    _klass.idx = _i
+_NUM_CLASSES = len(MessageClass)
+
+
+def _label(klass) -> str:
+    """Figure-legend label for a recorded key (enum value or repr)."""
+    return str(getattr(klass, "value", klass))
 
 
 class TrafficLedger:
     """Accumulates flit-crossing counts, keyed by :class:`MessageClass`."""
 
+    __slots__ = ("_flits", "_messages", "_extra_flits", "_extra_messages")
+
     def __init__(self) -> None:
-        self._flits: Counter[MessageClass] = Counter()
-        self._messages: Counter[MessageClass] = Counter()
+        self._flits: list[int] = [0] * _NUM_CLASSES
+        self._messages: list[int] = [0] * _NUM_CLASSES
+        # Non-MessageClass keys (kept so breakdown() stays total).
+        self._extra_flits: dict = {}
+        self._extra_messages: dict = {}
 
     def record(self, klass: MessageClass, flits: int, hops: int) -> None:
         """Record one message of ``flits`` flits crossing ``hops`` links."""
         if flits < 0 or hops < 0:
             raise ValueError("flits and hops must be non-negative")
-        self._flits[klass] += flits * hops
-        self._messages[klass] += 1
+        try:
+            idx = klass.idx
+        except AttributeError:
+            self._extra_flits[klass] = self._extra_flits.get(klass, 0) + flits * hops
+            self._extra_messages[klass] = self._extra_messages.get(klass, 0) + 1
+            return
+        self._flits[idx] += flits * hops
+        self._messages[idx] += 1
 
     def flit_crossings(self, klass: MessageClass | None = None) -> int:
         """Total flit crossings, optionally restricted to one class."""
         if klass is None:
-            return sum(self._flits.values())
-        return self._flits[klass]
+            return sum(self._flits) + sum(self._extra_flits.values())
+        try:
+            return self._flits[klass.idx]
+        except AttributeError:
+            return self._extra_flits.get(klass, 0)
 
     def message_count(self, klass: MessageClass | None = None) -> int:
         if klass is None:
-            return sum(self._messages.values())
-        return self._messages[klass]
+            return sum(self._messages) + sum(self._extra_messages.values())
+        try:
+            return self._messages[klass.idx]
+        except AttributeError:
+            return self._extra_messages.get(klass, 0)
 
     def breakdown(self) -> dict[str, int]:
-        """Flit crossings by class label, as used in the figure legends."""
-        return {klass.value: self._flits[klass] for klass in MessageClass}
+        """Flit crossings by class label, as used in the figure legends.
+
+        Total over every recorded key: all :class:`MessageClass` members
+        (zero counts included) plus any foreign key ever passed to
+        :meth:`record`.
+        """
+        flits = self._flits
+        out = {klass.value: flits[klass.idx] for klass in MessageClass}
+        for klass, crossings in self._extra_flits.items():
+            out[_label(klass)] = out.get(_label(klass), 0) + crossings
+        return out
 
     def merged_with(self, other: "TrafficLedger") -> "TrafficLedger":
-        # Counter.__add__ silently drops zero-count keys (a recorded
-        # zero-hop message class would vanish from the merge); update()
-        # preserves every key either side has seen.
+        # Fixed-size arrays make the merge trivially total: every class
+        # either side has seen survives, zero-count classes included.
         merged = TrafficLedger()
-        merged._flits.update(self._flits)
-        merged._flits.update(other._flits)
-        merged._messages.update(self._messages)
-        merged._messages.update(other._messages)
+        merged._flits = [a + b for a, b in zip(self._flits, other._flits)]
+        merged._messages = [a + b for a, b in zip(self._messages, other._messages)]
+        for src in (self, other):
+            for klass, crossings in src._extra_flits.items():
+                merged._extra_flits[klass] = (
+                    merged._extra_flits.get(klass, 0) + crossings
+                )
+            for klass, count in src._extra_messages.items():
+                merged._extra_messages[klass] = (
+                    merged._extra_messages.get(klass, 0) + count
+                )
         return merged

@@ -30,8 +30,22 @@ from repro.stats.collector import ProtocolCounters
 BANK_OCCUPANCY = 4
 OWNERSHIP_OCCUPANCY = 16
 
+#: Flit sizing is static, so the per-message helpers are hoisted out of
+#: the traffic-recording hot path: one module constant for control
+#: messages and a payload-size memo for data messages (real payloads are
+#: almost always one word or one line).
+_CONTROL_FLITS = control_flits()
+_DATA_FLITS: dict[int, int] = {}
 
-@dataclass
+
+def _data_flits(payload_bytes: int) -> int:
+    flits = _DATA_FLITS.get(payload_bytes)
+    if flits is None:
+        flits = _DATA_FLITS[payload_bytes] = data_flits(payload_bytes)
+    return flits
+
+
+@dataclass(slots=True)
 class Access:
     """Outcome of one memory operation.
 
@@ -66,6 +80,23 @@ class CoherenceProtocol(ABC):
         self.traffic = TrafficLedger()
         self.counters = ProtocolCounters()
         self.allocator = allocator
+        # Hot-path aliases, bound once: the per-operation code bumps
+        # counters and looks up hop distances millions of times per run,
+        # so it goes straight at the flat structures instead of through
+        # a method-call layer per event.
+        self._counts = self.counters._counts
+        self._hops_flat = self.mesh._hops
+        self._ntiles = config.num_cores
+        self._tflits = self.traffic._flits
+        self._tmsgs = self.traffic._messages
+        self._mem_values = self.memory._values
+        self._mem_get = self._mem_values.get
+        self._resident = self.memory._resident_lines
+        self._l2_flat = self.mesh._l2_latency
+        self._memlat_flat = self.mesh._memory_latency
+        self._line_shift = self.amap.line_shift
+        self._bank_mask = self.amap.bank_mask
+        self._pow2 = self._line_shift is not None and self._bank_mask is not None
         self.now = 0  # kept current by the cores before each operation
         # Runtime invariant checking (repro.protocols.invariants): a period
         # of 0 disables it, 1 checks before every operation, N samples
@@ -224,12 +255,36 @@ class CoherenceProtocol(ABC):
     # -- traffic helpers --------------------------------------------------------
 
     def record_control(self, klass: MessageClass, src: int, dst: int) -> None:
-        self.traffic.record(klass, control_flits(), self.mesh.hops(src, dst))
+        # Ledger accounting is inlined (traffic.record is one call per
+        # protocol message); foreign keys fall back to the ledger, which
+        # keeps its side table and breakdown() totality.
+        try:
+            idx = klass.idx
+        except AttributeError:
+            self.traffic.record(
+                klass, _CONTROL_FLITS, self._hops_flat[src * self._ntiles + dst]
+            )
+            return
+        self._tflits[idx] += (
+            _CONTROL_FLITS * self._hops_flat[src * self._ntiles + dst]
+        )
+        self._tmsgs[idx] += 1
 
     def record_data(
         self, klass: MessageClass, src: int, dst: int, payload_bytes: int
     ) -> None:
-        self.traffic.record(klass, data_flits(payload_bytes), self.mesh.hops(src, dst))
+        flits = _DATA_FLITS.get(payload_bytes)
+        if flits is None:
+            flits = _DATA_FLITS[payload_bytes] = data_flits(payload_bytes)
+        try:
+            idx = klass.idx
+        except AttributeError:
+            self.traffic.record(
+                klass, flits, self._hops_flat[src * self._ntiles + dst]
+            )
+            return
+        self._tflits[idx] += flits * self._hops_flat[src * self._ntiles + dst]
+        self._tmsgs[idx] += 1
 
     # -- shared latency helpers ---------------------------------------------------
 
@@ -239,25 +294,21 @@ class CoherenceProtocol(ABC):
         Returns (latency, cold): cold misses pay the memory latency and the
         extra controller traffic is charged by the caller.
         """
-        bank = self.amap.home_bank(line)
-        cold = self.memory.touch_line(line)
-        if cold:
-            self.counters.bump("cold_misses")
-            return self.mesh.memory_latency(core_id, bank), True
-        return self.mesh.l2_access_latency(core_id, bank), False
+        bank = line & self._bank_mask if self._pow2 else self.amap.home_bank(line)
+        resident = self._resident
+        if line in resident:
+            return self._l2_flat[core_id * self._ntiles + bank], False
+        resident.add(line)
+        self._counts["cold_misses"] += 1
+        return self._memlat_flat[core_id * self._ntiles + bank], True
 
     def record_memory_fill(self, klass: MessageClass, line: int) -> None:
         """Traffic of a cold-miss line fill between controller and bank."""
         bank = self.amap.home_bank(line)
         controller = self.mesh.nearest_controller(bank)
-        self.traffic.record(
-            klass, control_flits(), self.mesh.hops(bank, controller)
-        )
-        self.traffic.record(
-            klass,
-            data_flits(self.config.line_bytes),
-            self.mesh.hops(controller, bank),
-        )
+        hops = self.mesh.hops(bank, controller)
+        self.traffic.record(klass, _CONTROL_FLITS, hops)
+        self.traffic.record(klass, _data_flits(self.config.line_bytes), hops)
 
     def region_id_of(self, addr: int) -> Optional[int]:
         if self.allocator is None:

@@ -27,8 +27,8 @@ from typing import Callable, Optional
 
 from repro.mem.l1 import DeNovoL1, DeNovoState
 from repro.mem.regions import Region
-from repro.noc.messages import MessageClass
-from repro.protocols.base import Access, CoherenceProtocol
+from repro.noc.messages import MessageClass, data_flits
+from repro.protocols.base import Access, CoherenceProtocol, _CONTROL_FLITS
 from repro.protocols.invariants import denovo_violations
 
 #: Cycles for the local flash self-invalidation instruction.
@@ -47,8 +47,13 @@ class DeNovoBaseProtocol(CoherenceProtocol):
             for core in range(config.num_cores)
         ]
         if allocator is not None:
+            # The second argument hands the L1s a live view of the
+            # allocator's addr -> Region dict so per-word valid tracking
+            # skips the two-call lookup chain.
             for l1 in self.l1s:
-                l1.set_region_lookup(self.region_id_of)
+                l1.set_region_lookup(
+                    self.region_id_of, allocator._region_of_addr
+                )
         # word address -> core id currently registered (absent: value at LLC)
         self.registry: dict[int, int] = {}
         # word address -> [(core_id, callback)] spin-waiters asleep on their
@@ -65,6 +70,32 @@ class DeNovoBaseProtocol(CoherenceProtocol):
         self._store_burst: list[dict[int, int]] = [
             {} for _ in range(config.num_cores)
         ]
+        # Hot-path constants and inlined address math (power-of-two
+        # geometries; ``None`` falls back to the AddressMap methods).
+        self._chain_link = config.tuning.chain_link_cost
+        self._agg_window = config.tuning.store_aggregation_window
+        self._l1_hit = config.l1_hit_latency
+        self._word_bytes = config.word_bytes
+        self._line_shift = self.amap.line_shift
+        self._bank_mask = self.amap.bank_mask
+        self._pow2 = self._line_shift is not None and self._bank_mask is not None
+        self._word_flits = data_flits(config.word_bytes)
+        self._remote_by_leg = self.mesh._remote_by_leg
+        # The subclass hooks default to no-ops (DeNovoSync0); binding
+        # None in that case lets the hot paths skip the empty call.
+        cls = type(self)
+        base = DeNovoBaseProtocol
+        self._steal_hook = (
+            None
+            if cls.on_registration_stolen is base.on_registration_stolen
+            else self.on_registration_stolen
+        )
+        self._sync_hit_hook = (
+            None if cls.on_sync_hit is base.on_sync_hit else self.on_sync_hit
+        )
+        self._release_hook = (
+            None if cls.on_release is base.on_release else self.on_release
+        )
 
     def _make_evict_handler(self, core_id: int):
         def on_evict_registered(addr: int, value: int) -> None:
@@ -109,16 +140,18 @@ class DeNovoBaseProtocol(CoherenceProtocol):
                 self.on_acquire(core_id, addr)
             return access
         l1 = self.l1s[core_id]
-        state = l1.state_of(addr)
-        if state is not DeNovoState.INVALID:
-            self.counters.bump("l1_hits")
-            value = l1.value_of(addr)
-            assert value is not None
-            return Access(value, self.config.l1_hit_latency, hit=True)
+        value = l1.present_value(addr)
+        if value is not None:
+            self._counts["l1_hits"] += 1
+            return Access(value, self._l1_hit, hit=True)
 
-        self.counters.bump("l1_misses")
-        line = self.amap.line_of(addr)
-        bank = self.amap.home_bank(line)
+        self._counts["l1_misses"] += 1
+        if self._pow2:
+            line = addr >> self._line_shift
+            bank = line & self._bank_mask
+        else:
+            line = self.amap.line_of(addr)
+            bank = self.amap.home_bank(line)
         owner = self.registry.get(addr)
         self.record_control(MessageClass.LOAD, core_id, bank)
 
@@ -133,9 +166,9 @@ class DeNovoBaseProtocol(CoherenceProtocol):
                 core_id, line, from_owner=owner
             )
             self.record_data(
-                MessageClass.LOAD, owner, core_id, self.config.word_bytes * filled
+                MessageClass.LOAD, owner, core_id, self._word_bytes * filled
             )
-            value = self.memory.read(addr)
+            value = self._mem_get(addr, 0)
             return Access(value, latency, hit=False)
 
         latency, cold = self.llc_fetch_latency(core_id, line)
@@ -143,9 +176,9 @@ class DeNovoBaseProtocol(CoherenceProtocol):
             self.record_memory_fill(MessageClass.LOAD, line)
         filled = self._fill_line_valid_words(core_id, line, from_owner=None)
         self.record_data(
-            MessageClass.LOAD, bank, core_id, self.config.word_bytes * filled
+            MessageClass.LOAD, bank, core_id, self._word_bytes * filled
         )
-        value = self.memory.read(addr)
+        value = self._mem_get(addr, 0)
         return Access(value, latency, hit=False)
 
     def _fill_line_valid_words(
@@ -171,7 +204,7 @@ class DeNovoBaseProtocol(CoherenceProtocol):
                 continue
             if l1.state_of(word_addr, touch=False) is not DeNovoState.INVALID:
                 continue
-            l1.fill_word(word_addr, self.memory.read(word_addr), DeNovoState.VALID)
+            l1.fill_word(word_addr, self._mem_get(word_addr, 0), DeNovoState.VALID)
             filled += 1
         return filled
 
@@ -189,28 +222,28 @@ class DeNovoBaseProtocol(CoherenceProtocol):
         if sync:
             return self.sync_store(core_id, addr, value, release=release)
         l1 = self.l1s[core_id]
-        old = self.memory.read(addr)
+        old = self._mem_get(addr, 0)
         if l1.state_of(addr) is DeNovoState.REGISTERED:
-            self.counters.bump("l1_hits")
+            self._counts["l1_hits"] += 1
             l1.write_word(addr, value)
-            self.memory.write(addr, value)
-            return Access(old, self.config.l1_hit_latency, hit=True)
+            self._mem_values[addr] = value
+            return Access(old, self._l1_hit, hit=True)
 
         # Immediate transition to Registered, registration request in the
         # background: data writes never block the core.
-        self.counters.bump("l1_misses")
+        self._counts["l1_misses"] += 1
         if self._store_aggregates(core_id, addr):
             # Write-combining: the registration piggybacks on the line's
             # in-flight registration message (a wider word mask), so it
             # adds no traffic.  Only possible when no remote owner must be
             # downgraded.
             self.registry[addr] = core_id
-            self.counters.bump("aggregated_store_registrations")
+            self._counts["aggregated_store_registrations"] += 1
         else:
             self._register(core_id, addr, MessageClass.STORE, invalidate_prev=True)
         l1.fill_word(addr, value, DeNovoState.REGISTERED)
-        self.memory.write(addr, value)
-        return Access(old, self.config.l1_hit_latency, hit=False)
+        self._mem_values[addr] = value
+        return Access(old, self._l1_hit, hit=False)
 
     @property
     def STORE_AGGREGATION_WINDOW(self) -> int:
@@ -231,15 +264,16 @@ class DeNovoBaseProtocol(CoherenceProtocol):
         owner = self.registry.get(addr)
         if owner is not None and owner != core_id:
             return False
-        line = self.amap.line_of(addr)
+        shift = self._line_shift
+        line = addr >> shift if shift is not None else self.amap.line_of(addr)
         window = self._store_burst[core_id]
         last = window.get(line)
         window[line] = self.now
         if len(window) > 64:  # keep the tracking structure small
-            cutoff = self.now - self.STORE_AGGREGATION_WINDOW
+            cutoff = self.now - self._agg_window
             for stale in [ln for ln, t in window.items() if t < cutoff]:
                 del window[stale]
-        return last is not None and self.now - last <= self.STORE_AGGREGATION_WINDOW
+        return last is not None and self.now - last <= self._agg_window
 
     def _register(
         self,
@@ -257,11 +291,24 @@ class DeNovoBaseProtocol(CoherenceProtocol):
         ``carry_data_back`` adds a word of payload on the response (sync
         reads need the value; writes overwrite it anyway).
         """
-        line = self.amap.line_of(addr)
-        bank = self.amap.home_bank(line)
+        if self._pow2:
+            line = addr >> self._line_shift
+            bank = line & self._bank_mask
+        else:
+            line = self.amap.line_of(addr)
+            bank = self.amap.home_bank(line)
         prev = self.registry.get(addr)
-        self.record_control(klass, core_id, bank)
-        self.counters.bump("registration_transfers")
+        # Traffic recording is inlined with locals bound once: a
+        # registration sends two or three messages and this is the
+        # hottest path in the DeNovo family.
+        idx = klass.idx
+        tflits = self._tflits
+        tmsgs = self._tmsgs
+        hf = self._hops_flat
+        n = self._ntiles
+        tflits[idx] += _CONTROL_FLITS * hf[core_id * n + bank]
+        tmsgs[idx] += 1
+        self._counts["registration_transfers"] += 1
 
         # Concurrent registrations of one word chain through the L1 MSHRs
         # (the paper's "queue distributed among the L1 caches").  The chain
@@ -271,32 +318,41 @@ class DeNovoBaseProtocol(CoherenceProtocol):
         # transfer latency.
         chain_end = self._reg_chain.get(addr, 0)
 
+        link = self._chain_link  # == _chain_link_cost(<any leg>)
         if prev is not None and prev != core_id:
-            transfer = self.mesh.remote_l1_latency(core_id, bank, prev)
-            link = self._chain_link_cost(prev, core_id)
-            self.record_control(klass, bank, prev)
+            a = hf[core_id * n + bank]
+            b = hf[bank * n + prev]
+            transfer = self._remote_by_leg[a if a > b else b]
+            tflits[idx] += _CONTROL_FLITS * b
+            tmsgs[idx] += 1
             if carry_data_back:
-                self.record_data(klass, prev, core_id, self.config.word_bytes)
+                tflits[idx] += self._word_flits * hf[prev * n + core_id]
             else:
-                self.record_control(klass, prev, core_id)
+                tflits[idx] += _CONTROL_FLITS * hf[prev * n + core_id]
+            tmsgs[idx] += 1
             target = DeNovoState.INVALID if invalidate_prev else DeNovoState.VALID
             self.l1s[prev].downgrade(addr, target)
-            self.on_registration_stolen(prev, addr, by_sync_read=not invalidate_prev)
+            hook = self._steal_hook
+            if hook is not None:
+                hook(prev, addr, not invalidate_prev)
             cold = False
         else:
             transfer, cold = self.llc_fetch_latency(core_id, line)
-            link = self._chain_link_cost(bank, core_id)
             if cold:
                 self.record_memory_fill(klass, line)
             if carry_data_back:
-                self.record_data(klass, bank, core_id, self.config.word_bytes)
+                tflits[idx] += self._word_flits * hf[bank * n + core_id]
             else:
-                self.record_control(klass, bank, core_id)
+                tflits[idx] += _CONTROL_FLITS * hf[bank * n + core_id]
+            tmsgs[idx] += 1
 
-        completion = max(self.now + transfer, chain_end + link)
+        arrival = self.now + transfer
+        completion = chain_end + link
+        if completion > arrival:
+            self._counts["registration_chain_waits"] += 1
+        else:
+            completion = arrival
         latency = completion - self.now
-        if completion > self.now + transfer:
-            self.counters.bump("registration_chain_waits")
         if prev is not None and prev != core_id:
             self._notify_word_waiters(addr, prev, completion)
         self.registry[addr] = core_id

@@ -37,19 +37,21 @@ class DeNovoSync0Protocol(DeNovoBaseProtocol):
 
     def sync_load(self, core_id: int, addr: int) -> Access:
         l1 = self.l1s[core_id]
-        if l1.state_of(addr) is DeNovoState.REGISTERED:
-            self.counters.bump("l1_hits")
-            self.counters.bump("sync_read_hits")
-            self.on_sync_hit(core_id, addr)
-            value = l1.value_of(addr)
-            assert value is not None
-            return Access(value, self.config.l1_hit_latency, hit=True)
+        counts = self._counts
+        value = l1.registered_value(addr)
+        if value is not None:
+            counts["l1_hits"] += 1
+            counts["sync_read_hits"] += 1
+            hook = self._sync_hit_hook
+            if hook is not None:
+                hook(core_id, addr)
+            return Access(value, self._l1_hit, hit=True)
 
-        self.counters.bump("l1_misses")
-        self.counters.bump("sync_read_misses")
-        had_owner = self.registry.get(addr) not in (None, core_id)
-        if had_owner:
-            self.counters.bump("read_registration_steals")
+        counts["l1_misses"] += 1
+        counts["sync_read_misses"] += 1
+        owner = self.registry.get(addr)
+        if owner is not None and owner != core_id:
+            counts["read_registration_steals"] += 1
         latency, _ = self._register(
             core_id,
             addr,
@@ -57,7 +59,7 @@ class DeNovoSync0Protocol(DeNovoBaseProtocol):
             invalidate_prev=False,  # sync reads downgrade the victim to Valid
             carry_data_back=True,
         )
-        value = self.memory.read(addr)
+        value = self._mem_get(addr, 0)
         l1.fill_word(addr, value, DeNovoState.REGISTERED)
         return Access(value, latency, hit=False)
 
@@ -67,23 +69,26 @@ class DeNovoSync0Protocol(DeNovoBaseProtocol):
         self, core_id: int, addr: int, value: int, release: bool = False
     ) -> Access:
         l1 = self.l1s[core_id]
-        old = self.memory.read(addr)
-        if l1.state_of(addr) is DeNovoState.REGISTERED:
-            self.counters.bump("l1_hits")
-            l1.write_word(addr, value)
-            self.memory.write(addr, value)
+        old = self._mem_get(addr, 0)
+        if l1.try_write_registered(addr, value):
+            self._counts["l1_hits"] += 1
+            self._mem_values[addr] = value
             if release:
-                self.on_release(core_id, addr)
-            return Access(old, self.config.l1_hit_latency, hit=True)
+                hook = self._release_hook
+                if hook is not None:
+                    hook(core_id, addr)
+            return Access(old, self._l1_hit, hit=True)
 
-        self.counters.bump("l1_misses")
+        self._counts["l1_misses"] += 1
         latency, _ = self._register(
             core_id, addr, MessageClass.SYNCH, invalidate_prev=True
         )
         l1.fill_word(addr, value, DeNovoState.REGISTERED)
-        self.memory.write(addr, value)
+        self._mem_values[addr] = value
         if release:
-            self.on_release(core_id, addr)
+            hook = self._release_hook
+            if hook is not None:
+                hook(core_id, addr)
         return Access(old, latency, hit=False)
 
     # -- RMWs ---------------------------------------------------------------------
@@ -99,12 +104,14 @@ class DeNovoSync0Protocol(DeNovoBaseProtocol):
     ) -> Access:
         l1 = self.l1s[core_id]
         if l1.state_of(addr) is DeNovoState.REGISTERED:
-            self.counters.bump("l1_hits")
-            latency = self.config.l1_hit_latency
+            self._counts["l1_hits"] += 1
+            latency = self._l1_hit
             hit = True
-            self.on_sync_hit(core_id, addr)
+            hook = self._sync_hit_hook
+            if hook is not None:
+                hook(core_id, addr)
         else:
-            self.counters.bump("l1_misses")
+            self._counts["l1_misses"] += 1
             latency, _ = self._register(
                 core_id,
                 addr,
@@ -113,15 +120,17 @@ class DeNovoSync0Protocol(DeNovoBaseProtocol):
                 carry_data_back=True,
             )
             hit = False
-        old = self.memory.read(addr)
+        old = self._mem_get(addr, 0)
         new = fn(old)
         written = old if new is None else new
         l1.fill_word(addr, written, DeNovoState.REGISTERED)
         if new is not None:
-            self.memory.write(addr, new)
+            self._mem_values[addr] = new
         if release:
-            self.on_release(core_id, addr)
+            hook = self._release_hook
+            if hook is not None:
+                hook(core_id, addr)
         if acquire:
             self.on_acquire(core_id, addr)
-        self.counters.bump("rmws")
+        self._counts["rmws"] += 1
         return Access(old, latency, hit=hit)

@@ -47,6 +47,17 @@ class MesiProtocol(CoherenceProtocol):
         self._directory: dict[int, DirectoryEntry] = {}
         # line -> list of (core_id, callback) waiting for their copy to die
         self._waiters: dict[int, list[tuple[int, Callable[[int], None]]]] = {}
+        # Hot-path constants and tables, bound once (see base.__init__):
+        # per-operation code inlines the config lookups and, for the
+        # standard power-of-two geometries, the line/bank address math.
+        self._l1_hit = config.l1_hit_latency
+        self._line_bytes = config.line_bytes
+        self._own_occ = config.tuning.ownership_occupancy
+        self._bank_occ = config.tuning.bank_occupancy
+        self._line_shift = self.amap.line_shift
+        self._bank_mask = self.amap.bank_mask
+        self._pow2 = self._line_shift is not None and self._bank_mask is not None
+        self._l2_flat = self.mesh._l2_latency
 
     # -- helpers ----------------------------------------------------------
 
@@ -76,11 +87,11 @@ class MesiProtocol(CoherenceProtocol):
         """
         if ticketed:
             return None
-        queue = self._queue_delay(entry)
+        queue = entry.busy_until - self.now
         if queue <= 0:
             return None
-        self.counters.bump("directory_retries")
-        entry.busy_until += self.config.tuning.ownership_occupancy
+        self._counts["directory_retries"] += 1
+        entry.busy_until += self._own_occ
         return Access(0, queue, hit=False, retry=True)
 
     def _insert_line(self, core_id: int, line: int, state: MesiState) -> None:
@@ -94,8 +105,8 @@ class MesiProtocol(CoherenceProtocol):
         ventry = self._entry(vline)
         bank = self.amap.home_bank(vline)
         if vstate is MesiState.MODIFIED:
-            self.record_data(MessageClass.WRITEBACK, core_id, bank, self.config.line_bytes)
-            self.counters.bump("writebacks")
+            self.record_data(MessageClass.WRITEBACK, core_id, bank, self._line_bytes)
+            self._counts["writebacks"] += 1
             ventry.exclusive_owner = None
         elif vstate is MesiState.EXCLUSIVE:
             ventry.exclusive_owner = None
@@ -137,15 +148,18 @@ class MesiProtocol(CoherenceProtocol):
         ticketed: bool = False,
         acquire: bool = False,
     ) -> Access:
-        line = self.amap.line_of(addr)
+        if self._pow2:
+            line = addr >> self._line_shift
+        else:
+            line = self.amap.line_of(addr)
         state = self.l1s[core_id].state_of(line)
         if state is not None:
-            self.counters.bump("l1_hits")
-            return Access(self.memory.read(addr), self.config.l1_hit_latency, hit=True)
+            self._counts["l1_hits"] += 1
+            return Access(self._mem_get(addr, 0), self._l1_hit, hit=True)
 
-        self.counters.bump("l1_misses")
+        self._counts["l1_misses"] += 1
         entry = self._entry(line)
-        bank = self.amap.home_bank(line)
+        bank = line & self._bank_mask if self._pow2 else self.amap.home_bank(line)
         retry = self._reserve_or_retry(entry, core_id, bank, ticketed)
         if retry is not None:
             return retry
@@ -165,21 +179,21 @@ class MesiProtocol(CoherenceProtocol):
             self.l1s[owner].set_state(line, MesiState.SHARED)
             if owner_state is MesiState.MODIFIED:
                 self.record_data(
-                    MessageClass.WRITEBACK, owner, bank, self.config.line_bytes
+                    MessageClass.WRITEBACK, owner, bank, self._line_bytes
                 )
-                self.counters.bump("writebacks")
+                self._counts["writebacks"] += 1
             self.record_control(MessageClass.LOAD, bank, owner)
-            self.record_data(MessageClass.LOAD, owner, core_id, self.config.line_bytes)
+            self.record_data(MessageClass.LOAD, owner, core_id, self._line_bytes)
             entry.exclusive_owner = None
             entry.sharers.update({owner, core_id})
             # Ownership transfers hold the entry only for the protocol-race
             # window; the unblock round trip is tracked in an MSHR.
             entry.busy_until = max(
                 entry.busy_until,
-                self.now + self.config.tuning.ownership_occupancy,
+                self.now + self._own_occ,
             )
             self._insert_line(core_id, line, MesiState.SHARED)
-            return Access(self.memory.read(addr), latency, hit=False)
+            return Access(self._mem_get(addr, 0), latency, hit=False)
 
         return self._load_from_llc(core_id, line, addr, entry, bank)
 
@@ -190,7 +204,7 @@ class MesiProtocol(CoherenceProtocol):
         latency = fetch
         if cold:
             self.record_memory_fill(MessageClass.LOAD, line)
-        self.record_data(MessageClass.LOAD, bank, core_id, self.config.line_bytes)
+        self.record_data(MessageClass.LOAD, bank, core_id, self._line_bytes)
         if not entry.sharers and entry.exclusive_owner is None:
             # Exclusive-clean grant: a later write by this core is silent.
             entry.exclusive_owner = core_id
@@ -198,10 +212,8 @@ class MesiProtocol(CoherenceProtocol):
         else:
             entry.sharers.add(core_id)
             self._insert_line(core_id, line, MesiState.SHARED)
-        entry.busy_until = max(
-            entry.busy_until, self.now + self.config.tuning.bank_occupancy
-        )
-        return Access(self.memory.read(addr), latency, hit=False)
+        entry.busy_until = max(entry.busy_until, self.now + self._bank_occ)
+        return Access(self._mem_get(addr, 0), latency, hit=False)
 
     # -- stores and RMWs ------------------------------------------------------
 
@@ -217,11 +229,11 @@ class MesiProtocol(CoherenceProtocol):
         outcome = self._obtain_modified(core_id, addr, ticketed)
         if outcome.retry:
             return outcome
-        old = self.memory.read(addr)
-        self.memory.write(addr, value)
+        old = self._mem_get(addr, 0)
+        self._mem_values[addr] = value
         if not sync:
             # Non-blocking data store: the core retires it in one cycle.
-            return Access(old, self.config.l1_hit_latency, hit=outcome.hit)
+            return Access(old, self._l1_hit, hit=outcome.hit)
         return Access(old, outcome.latency, hit=outcome.hit)
 
     def rmw(
@@ -236,30 +248,33 @@ class MesiProtocol(CoherenceProtocol):
         outcome = self._obtain_modified(core_id, addr, ticketed)
         if outcome.retry:
             return outcome
-        old = self.memory.read(addr)
+        old = self._mem_get(addr, 0)
         new = fn(old)
         if new is not None:
-            self.memory.write(addr, new)
-        self.counters.bump("rmws")
+            self._mem_values[addr] = new
+        self._counts["rmws"] += 1
         return Access(old, outcome.latency, hit=outcome.hit)
 
     def _obtain_modified(self, core_id: int, addr: int, ticketed: bool = False) -> Access:
         """Bring ``addr``'s line to Modified (the Access value is unset)."""
-        line = self.amap.line_of(addr)
+        if self._pow2:
+            line = addr >> self._line_shift
+        else:
+            line = self.amap.line_of(addr)
         l1 = self.l1s[core_id]
         state = l1.state_of(line)
         if state is MesiState.MODIFIED:
-            self.counters.bump("l1_hits")
-            return Access(0, self.config.l1_hit_latency, hit=True)
+            self._counts["l1_hits"] += 1
+            return Access(0, self._l1_hit, hit=True)
         if state is MesiState.EXCLUSIVE:
             # Silent E -> M upgrade.
-            self.counters.bump("l1_hits")
+            self._counts["l1_hits"] += 1
             l1.set_state(line, MesiState.MODIFIED)
-            return Access(0, self.config.l1_hit_latency, hit=True)
+            return Access(0, self._l1_hit, hit=True)
 
-        self.counters.bump("l1_misses")
+        self._counts["l1_misses"] += 1
         entry = self._entry(line)
-        bank = self.amap.home_bank(line)
+        bank = line & self._bank_mask if self._pow2 else self.amap.home_bank(line)
         retry = self._reserve_or_retry(entry, core_id, bank, ticketed)
         if retry is not None:
             return retry
@@ -275,31 +290,31 @@ class MesiProtocol(CoherenceProtocol):
                 latency += fetch
                 if cold:
                     self.record_memory_fill(MessageClass.STORE, line)
-                self.record_data(MessageClass.STORE, bank, core_id, self.config.line_bytes)
+                self.record_data(MessageClass.STORE, bank, core_id, self._line_bytes)
             else:
                 latency += self.mesh.remote_l1_latency(core_id, bank, owner)
                 if owner_state is MesiState.MODIFIED:
                     self.record_data(
-                        MessageClass.WRITEBACK, owner, bank, self.config.line_bytes
+                        MessageClass.WRITEBACK, owner, bank, self._line_bytes
                     )
-                    self.counters.bump("writebacks")
+                    self._counts["writebacks"] += 1
                 self.record_control(MessageClass.INVALIDATION, bank, owner)
                 self.record_data(
-                    MessageClass.STORE, owner, core_id, self.config.line_bytes
+                    MessageClass.STORE, owner, core_id, self._line_bytes
                 )
                 self._invalidate_sharer(line, owner, self.now + latency)
-                self.counters.bump("invalidations_sent")
+                self._counts["invalidations_sent"] += 1
         else:
             targets = entry.sharers - {core_id}
             if state is MesiState.SHARED:
                 # Upgrade: no data transfer needed, just the directory visit.
-                latency += self.mesh.l2_access_latency(core_id, bank)
+                latency += self._l2_flat[core_id * self._ntiles + bank]
             else:
                 fetch, cold = self.llc_fetch_latency(core_id, line)
                 latency += fetch
                 if cold:
                     self.record_memory_fill(MessageClass.STORE, line)
-                self.record_data(MessageClass.STORE, bank, core_id, self.config.line_bytes)
+                self.record_data(MessageClass.STORE, bank, core_id, self._line_bytes)
             if targets:
                 # Writer-initiated invalidations: the write completes only
                 # once the farthest ack arrives (write atomicity), but ack
@@ -314,15 +329,16 @@ class MesiProtocol(CoherenceProtocol):
                     self.record_control(MessageClass.INVALIDATION, bank, target)
                     self.record_control(MessageClass.INVALIDATION, target, bank)
                     self._invalidate_sharer(line, target, self.now + latency)
-                    self.counters.bump("invalidations_sent")
+                    self._counts["invalidations_sent"] += 1
 
         entry.exclusive_owner = core_id
         entry.sharers.clear()
         # The directory unblocks on the requester's unblock message; ack
         # collection at the requester does not extend the busy window.
         entry.busy_until = max(
-                entry.busy_until, self.now + self.mesh.l2_access_latency(core_id, bank)
-            )
+            entry.busy_until,
+            self.now + self._l2_flat[core_id * self._ntiles + bank],
+        )
         if state is MesiState.SHARED:
             l1.set_state(line, MesiState.MODIFIED)
         else:

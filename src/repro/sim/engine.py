@@ -1,43 +1,103 @@
 """Discrete-event simulation engine.
 
-All simulated activity is ordered through a single event queue keyed by
-(cycle, sequence-number).  The sequence number makes the simulation fully
-deterministic: two events scheduled for the same cycle fire in the order
-they were scheduled.
+All simulated activity is ordered through a single logical event queue
+keyed by (cycle, sequence-number).  The sequence number makes the
+simulation fully deterministic: two events scheduled for the same cycle
+fire in the order they were scheduled.
+
+Internally the queue is a hybrid of two structures (the determinism
+contract above is independent of which structure an event lands in):
+
+* a **bucket wheel** of ``WHEEL_SIZE`` per-cycle buckets for events within
+  the near-future window ``[now, now + WHEEL_SIZE)``, where almost every
+  event lands (operation latencies are small bounded integers).  Insert
+  is an O(1) list append; finding the next occupied cycle is a couple of
+  big-int bit operations on an occupancy bitmap instead of a bucket scan.
+* a **binary heap** for the rare far-out events (multi-thousand-cycle
+  hardware backoffs, watchdog horizons).  Heap entries are plain lists
+  ``[time, seq, ...]`` so ``heapq`` compares them at C speed; (time, seq)
+  is unique, so a comparison never reaches the non-ordered fields.
+
+Hot-path scheduling goes through :meth:`Simulator.call_at` /
+:meth:`Simulator.call_after`, which take a prebound ``(callback, arg)``
+pair, return no handle, and recycle entry storage through a free list —
+zero allocations per event in steady state.  The classic
+:meth:`schedule_at` / :meth:`schedule_after` API returns a cancellable
+:class:`Event` handle and is unchanged.
+
+Free-list lifetime rules: only entries created by ``call_at`` /
+``call_after`` are recyclable.  They are never handed out (no handle →
+no cancel → no external alias), so an entry can be recycled as soon as
+the engine drops its last internal reference: immediately after firing
+for heap entries, and at bucket-clear time for wheel entries.  Entries
+backing a public :class:`Event` are never recycled — the handle may
+outlive the firing.
 """
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
+from heapq import heapify, heappop, heappush
 from typing import Callable, Optional
 
+#: Sentinel ``arg`` meaning "invoke the callback with no argument".
+_NO_ARG = object()
 
-@dataclass(order=True)
+# Entry layout (a plain list; index constants below):
+#   [0] time          absolute firing cycle
+#   [1] seq           global schedule order (ties within a cycle)
+#   [2] callback      None once fired or cancelled (the liveness test)
+#   [3] arg           _NO_ARG, or the single positional argument
+#   [4] scheduled_at  cycle the entry was created (for error notes)
+#   [5] flags         _F_RECYCLABLE and/or _F_IN_HEAP
+_F_RECYCLABLE = 1  # internal call_at/call_after entry: may enter the free list
+_F_IN_HEAP = 2  # lives in the heap, not the wheel (cancel bookkeeping)
+
+
 class Event:
-    """A scheduled callback.
+    """A handle for a scheduled callback (cancellation + introspection).
 
-    Events compare by (time, seq) so that :class:`Simulator` can keep them
-    in a heap; ``cancelled`` events are skipped when popped.
-    ``scheduled_at`` records the cycle at which the event was created, so
-    an exception escaping the callback can be attributed to its
-    scheduling site.  ``owner`` is the scheduling :class:`Simulator`, so a
-    cancel can maintain the simulator's live-event counter.
+    ``cancel()`` is idempotent; cancelling an event that already fired is
+    a no-op.  The handle stays valid after the event fires.
     """
 
-    time: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    scheduled_at: int = field(default=0, compare=False)
-    owner: Optional["Simulator"] = field(default=None, compare=False, repr=False)
+    __slots__ = ("_entry", "_sim", "_cancelled")
+
+    def __init__(self, entry: list, sim: "Simulator"):
+        self._entry = entry
+        self._sim = sim
+        self._cancelled = False
+
+    @property
+    def time(self) -> int:
+        return self._entry[0]
+
+    @property
+    def seq(self) -> int:
+        return self._entry[1]
+
+    @property
+    def scheduled_at(self) -> int:
+        return self._entry[4]
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
 
     def cancel(self) -> None:
-        if self.cancelled:
+        if self._cancelled:
             return
-        self.cancelled = True
-        if self.owner is not None:
-            self.owner._event_cancelled()
+        entry = self._entry
+        if entry[2] is None:  # already fired
+            return
+        self._cancelled = True
+        entry[2] = None
+        self._sim._event_cancelled(entry)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else (
+            "fired" if self._entry[2] is None else "pending"
+        )
+        return f"Event(time={self._entry[0]}, seq={self._entry[1]}, {state})"
 
 
 class Simulator:
@@ -47,18 +107,42 @@ class Simulator:
     >>> fired = []
     >>> _ = sim.schedule_at(10, lambda: fired.append(sim.now))
     >>> sim.run()
+    1
     >>> fired
     [10]
     """
 
-    #: Compact the heap when it holds at least this many entries and
+    #: Cycles covered by the bucket wheel; events further out go to the
+    #: heap.  Must be a power of two (bucket index is ``time & mask``).
+    WHEEL_SIZE = 1024
+
+    #: Compact a queue side once it holds at least this many entries and
     #: cancelled entries outnumber live ones (see :meth:`_event_cancelled`).
     COMPACT_MIN_SIZE = 64
 
     def __init__(self) -> None:
-        self._queue: list[Event] = []
+        size = self.WHEEL_SIZE
+        # Instance copy of the class constant: the scheduling hot path
+        # reads it every call, and an instance attribute resolves without
+        # the failed-instance-then-type lookup.
+        self._wsize = size
+        self._wheel: list[list] = [[] for _ in range(size)]
+        self._wheel_mask = size - 1
+        self._occ = 0  # bitmap: bit i set when bucket i is non-empty
+        self._occ_full = (1 << size) - 1
+        self._wheel_live = 0  # live (non-cancelled, unfired) wheel entries
+        self._wheel_dead = 0  # cancelled wheel entries not yet reclaimed
+        self._heap: list[list] = []
+        self._heap_live = 0
         self._seq = 0
-        self._live = 0  # non-cancelled events still in the heap
+        self._free: list[list] = []  # recycled internal entries
+        # The bucket currently being drained: entries at index <
+        # _drain_pos of bucket (_drain_time & mask) are dead (fired or
+        # cancelled) and are skipped without re-inspection.
+        self._drain_time = -1
+        self._drain_pos = 0
+        # Cached by _peek for the immediately following _take.
+        self._found: Optional[tuple] = None
         self.now = 0
         #: Cycle of the most recent *architectural* progress.  Cores stamp
         #: this every time an operation retires; the liveness watchdog
@@ -78,39 +162,370 @@ class Simulator:
         #: None and pay one attribute test per operation.
         self.controller = None
 
+    # -- scheduling ---------------------------------------------------------
+
     def schedule_at(self, time: int, callback: Callable[[], None]) -> Event:
-        """Schedule ``callback`` to fire at absolute cycle ``time``."""
+        """Schedule ``callback`` at absolute cycle ``time``; returns a handle."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
-        event = Event(
-            time=time, seq=self._seq, callback=callback, scheduled_at=self.now,
-            owner=self,
-        )
-        self._seq += 1
-        heapq.heappush(self._queue, event)
-        self._live += 1
-        return event
-
-    def _event_cancelled(self) -> None:
-        """Maintain the live counter on cancel; compact a mostly-dead heap.
-
-        The exploration driver cancels heavily, so the heap is rebuilt
-        from the survivors once cancelled entries outnumber live ones
-        (amortized O(1) per cancel).
-        """
-        self._live -= 1
-        if (
-            len(self._queue) >= self.COMPACT_MIN_SIZE
-            and self._live * 2 < len(self._queue)
-        ):
-            self._queue = [e for e in self._queue if not e.cancelled]
-            heapq.heapify(self._queue)
+        seq = self._seq
+        self._seq = seq + 1
+        entry = [time, seq, callback, _NO_ARG, self.now, 0]
+        self._insert(entry, time)
+        return Event(entry, self)
 
     def schedule_after(self, delay: int, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` to fire ``delay`` cycles from now."""
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
         return self.schedule_at(self.now + delay, callback)
+
+    def call_at(self, time: int, callback: Callable, arg=_NO_ARG) -> None:
+        """Hot-path schedule: no handle, no allocation in steady state.
+
+        ``callback`` fires as ``callback(arg)`` (or ``callback()`` when
+        ``arg`` is omitted).  The entry storage is recycled through a
+        free list; there is no way to cancel.
+        """
+        now = self.now
+        if time < now:
+            raise ValueError(f"cannot schedule in the past ({time} < {now})")
+        seq = self._seq
+        self._seq = seq + 1
+        free = self._free
+        if free:
+            entry = free.pop()
+            entry[0] = time
+            entry[1] = seq
+            entry[2] = callback
+            entry[3] = arg
+            entry[4] = now
+            entry[5] = _F_RECYCLABLE
+        else:
+            entry = [time, seq, callback, arg, now, _F_RECYCLABLE]
+        if time - now < self._wsize:
+            idx = time & self._wheel_mask
+            bucket = self._wheel[idx]
+            if not bucket:
+                # A non-empty bucket already has its bit set (bits clear
+                # only when a bucket is emptied), so the WHEEL_SIZE-bit
+                # bitmap OR is paid once per bucket activation, not once
+                # per insert.
+                self._occ |= 1 << idx
+            bucket.append(entry)
+            self._wheel_live += 1
+        else:
+            entry[5] = _F_RECYCLABLE | _F_IN_HEAP
+            heappush(self._heap, entry)
+            self._heap_live += 1
+
+    def call_after(self, delay: int, callback: Callable, arg=_NO_ARG) -> None:
+        """Hot-path relative schedule; see :meth:`call_at`.
+
+        The :meth:`call_at` body is inlined (minus the cannot-schedule-
+        in-the-past check, subsumed by the delay sign check): cores
+        schedule nearly every event through here, and the extra frame
+        was measurable.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        now = self.now
+        time = now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        free = self._free
+        if free:
+            entry = free.pop()
+            entry[0] = time
+            entry[1] = seq
+            entry[2] = callback
+            entry[3] = arg
+            entry[4] = now
+            entry[5] = _F_RECYCLABLE
+        else:
+            entry = [time, seq, callback, arg, now, _F_RECYCLABLE]
+        if delay < self._wsize:
+            idx = time & self._wheel_mask
+            bucket = self._wheel[idx]
+            if not bucket:
+                self._occ |= 1 << idx
+            bucket.append(entry)
+            self._wheel_live += 1
+        else:
+            entry[5] = _F_RECYCLABLE | _F_IN_HEAP
+            heappush(self._heap, entry)
+            self._heap_live += 1
+
+    def _insert(self, entry: list, time: int) -> None:
+        """Place a fresh entry in the wheel or the overflow heap."""
+        if time - self.now < self._wsize:
+            idx = time & self._wheel_mask
+            bucket = self._wheel[idx]
+            if not bucket:
+                self._occ |= 1 << idx
+            bucket.append(entry)
+            self._wheel_live += 1
+        else:
+            entry[5] |= _F_IN_HEAP
+            heappush(self._heap, entry)
+            self._heap_live += 1
+
+    # -- cancellation -------------------------------------------------------
+
+    def _event_cancelled(self, entry: list) -> None:
+        """Maintain live counters on cancel; compact mostly-dead storage.
+
+        The exploration driver cancels heavily, so each side is rebuilt
+        from the survivors once cancelled entries outnumber live ones
+        (amortized O(1) per cancel).
+        """
+        if entry[5] & _F_IN_HEAP:
+            self._heap_live -= 1
+            heap = self._heap
+            if len(heap) >= self.COMPACT_MIN_SIZE and self._heap_live * 2 < len(heap):
+                self._heap = [e for e in heap if e[2] is not None]
+                heapify(self._heap)
+        else:
+            self._wheel_live -= 1
+            self._wheel_dead += 1
+            if (
+                self._wheel_live + self._wheel_dead >= self.COMPACT_MIN_SIZE
+                and self._wheel_live < self._wheel_dead
+            ):
+                self._compact_wheel()
+
+    def _compact_wheel(self) -> None:
+        """Drop every dead entry from every bucket; rebuild the bitmap."""
+        occ = 0
+        free = self._free
+        for idx, bucket in enumerate(self._wheel):
+            if not bucket:
+                continue
+            live = [e for e in bucket if e[2] is not None]
+            for e in bucket:
+                if e[2] is None and e[5] & _F_RECYCLABLE:
+                    free.append(e)
+            if live:
+                bucket[:] = live
+                occ |= 1 << idx
+            else:
+                bucket.clear()
+        self._occ = occ
+        self._wheel_dead = 0
+        # Dead prefixes are gone; restart the drain bucket (only live
+        # entries of the drained cycle, if any, remain, now at index 0).
+        self._drain_pos = 0
+        self._found = None
+
+    # -- queue inspection ---------------------------------------------------
+
+    def _peek(self) -> Optional[list]:
+        """Earliest live entry without consuming it (or None).
+
+        Caches the entry's location for the :meth:`_take` that follows.
+        """
+        heap = self._heap
+        while heap and heap[0][2] is None:
+            e = heappop(heap)
+            if e[5] & _F_RECYCLABLE:  # pragma: no cover - internal entries
+                self._free.append(e)  # cannot be cancelled; defensive only
+        wheel_entry = None
+        if self._wheel_live:
+            now = self.now
+            mask = self._wheel_mask
+            size = self.WHEEL_SIZE
+            while True:
+                occ = self._occ
+                if occ == 0:
+                    break
+                base = now & mask
+                # Any *live* wheel entry lies in [now, now + size), so
+                # the next candidate bucket is the lowest occupied index
+                # >= base, else (wrapping) the lowest occupied index
+                # overall.  Splitting high/low avoids materializing a
+                # rotated copy of the (WHEEL_SIZE-bit) bitmap.
+                high = occ >> base
+                if high:
+                    t = now + ((high & -high).bit_length() - 1)
+                else:
+                    t = now + size - base + ((occ & -occ).bit_length() - 1)
+                idx = t & mask
+                bucket = self._wheel[idx]
+                pos = self._drain_pos if t == self._drain_time else 0
+                n = len(bucket)
+                while pos < n:
+                    e = bucket[pos]
+                    if e[2] is not None:
+                        break
+                    pos += 1
+                else:
+                    # Nothing live in this bucket: reclaim it (dead
+                    # tombstones, possibly from cycles long past) and
+                    # drop its occupancy bit, then look again.
+                    self._reclaim_bucket(idx, bucket)
+                    continue
+                wheel_entry = e
+                if t == self._drain_time:
+                    self._drain_pos = pos  # skip the dead prefix for good
+                break
+        if wheel_entry is None:
+            if heap:
+                head = heap[0]
+                self._found = (head, None, 0, True)
+                return head
+            self._found = None
+            return None
+        if heap:
+            head = heap[0]
+            ht = head[0]
+            t = wheel_entry[0]
+            if ht < t or (ht == t and head[1] < wheel_entry[1]):
+                self._found = (head, None, 0, True)
+                return head
+        self._found = (wheel_entry, bucket, pos, False)
+        return wheel_entry
+
+    def _reclaim_bucket(self, idx: int, bucket: list) -> None:
+        """Clear a bucket containing only dead entries."""
+        free = self._free
+        dead = 0
+        for e in bucket:
+            if e[5] & _F_RECYCLABLE:
+                free.append(e)
+            else:
+                dead += 1
+        # Cancelled (public) tombstones leave with the bucket; keep the
+        # compaction trigger roughly honest.
+        if dead and self._wheel_dead:
+            self._wheel_dead = max(0, self._wheel_dead - dead)
+        bucket.clear()
+        self._occ &= ~(1 << idx)
+        if idx == (self._drain_time & self._wheel_mask):
+            self._drain_time = -1
+            self._drain_pos = 0
+
+    def _take(self) -> list:
+        """Consume the entry returned by the immediately preceding _peek."""
+        entry, bucket, pos, from_heap = self._found
+        self._found = None
+        if from_heap:
+            heappop(self._heap)
+            self._heap_live -= 1
+            return entry
+        # Consumed wheel entries stay in their bucket as tombstones; the
+        # bucket is reclaimed lazily by `_peek` once the scan next lands
+        # on it and finds nothing live.  Eager clearing would be wrong:
+        # a bucket can hold a *live* entry for a later wheel rotation
+        # (time = drained-cycle + k * WHEEL_SIZE, scheduled after a
+        # ``run(until=...)`` clock jump) alongside the dead ones.
+        self._drain_time = entry[0]
+        self._drain_pos = pos + 1
+        self._wheel_live -= 1
+        return entry
+
+    def _pop_next(self, limit: Optional[int] = None) -> Optional[list]:
+        """Consume and return the earliest live entry, or None.
+
+        The one-call hot path behind :meth:`run` and :meth:`step`: same
+        selection rule as :meth:`_peek` + :meth:`_take` (keep the scans
+        in lockstep!) but with no peek cache and the all-dead-bucket
+        reclaim inlined.  With ``limit``, an entry due after ``limit``
+        is left unconsumed and None is returned.
+        """
+        heap = self._heap
+        while heap and heap[0][2] is None:
+            e = heappop(heap)
+            if e[5] & _F_RECYCLABLE:  # pragma: no cover - defensive only
+                self._free.append(e)
+        wheel_entry = None
+        if self._wheel_live:
+            now = self.now
+            mask = self._wheel_mask
+            wheel = self._wheel
+            # Fast path: many events fire per cycle (one per active core),
+            # so the bucket being drained is very often the current
+            # cycle's.  Inserts never land before ``now``, so with an
+            # empty heap the next live entry at/after ``_drain_pos`` IS
+            # the global minimum — no bitmap scan, no heap tie-break.
+            if not heap and self._drain_time == now:
+                bucket = wheel[now & mask]
+                pos = self._drain_pos
+                n = len(bucket)
+                while pos < n:
+                    e = bucket[pos]
+                    if e[2] is not None:
+                        if limit is not None and now > limit:
+                            return None
+                        self._drain_pos = pos + 1
+                        self._wheel_live -= 1
+                        return e
+                    pos += 1
+            while True:
+                occ = self._occ
+                if occ == 0:
+                    break
+                base = now & mask
+                high = occ >> base
+                if high:
+                    t = now + ((high & -high).bit_length() - 1)
+                else:
+                    t = now + self._wsize - base + ((occ & -occ).bit_length() - 1)
+                idx = t & mask
+                bucket = wheel[idx]
+                drain_time = self._drain_time
+                pos = self._drain_pos if t == drain_time else 0
+                n = len(bucket)
+                while pos < n:
+                    e = bucket[pos]
+                    if e[2] is not None:
+                        break
+                    pos += 1
+                else:
+                    # Nothing live: reclaim the bucket (see
+                    # _reclaim_bucket) and look again.
+                    dead = 0
+                    free = self._free
+                    for e in bucket:
+                        if e[5] & _F_RECYCLABLE:
+                            free.append(e)
+                        else:
+                            dead += 1
+                    if dead and self._wheel_dead:
+                        self._wheel_dead = max(0, self._wheel_dead - dead)
+                    bucket.clear()
+                    self._occ = occ & ~(1 << idx)
+                    if idx == (drain_time & mask):
+                        self._drain_time = -1
+                        self._drain_pos = 0
+                    continue
+                wheel_entry = e
+                break
+        if wheel_entry is None:
+            if heap:
+                head = heap[0]
+                if limit is not None and head[0] > limit:
+                    return None
+                heappop(heap)
+                self._heap_live -= 1
+                return head
+            return None
+        if heap:
+            head = heap[0]
+            ht = head[0]
+            if ht < t or (ht == t and head[1] < wheel_entry[1]):
+                if limit is not None and ht > limit:
+                    return None
+                heappop(heap)
+                self._heap_live -= 1
+                return head
+        if limit is not None and t > limit:
+            return None
+        self._drain_time = t
+        self._drain_pos = pos + 1
+        self._wheel_live -= 1
+        return wheel_entry
+
+    # -- execution ----------------------------------------------------------
 
     def step(self) -> bool:
         """Fire the next pending event; return False when the queue is empty.
@@ -121,22 +536,28 @@ class Simulator:
         which it was scheduled, so a protocol bug deep in a callback can
         be attributed to its scheduling site.
         """
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self._live -= 1
-            self.now = event.time
-            try:
-                event.callback()
-            except Exception as exc:
-                exc.add_note(
-                    f"[sim] while firing event seq={event.seq} at cycle "
-                    f"{event.time} (scheduled at cycle {event.scheduled_at})"
-                )
-                raise
-            return True
-        return False
+        entry = self._pop_next()
+        if entry is None:
+            return False
+        self.now = entry[0]
+        callback = entry[2]
+        arg = entry[3]
+        entry[2] = None
+        entry[3] = None
+        try:
+            if arg is _NO_ARG:
+                callback()
+            else:
+                callback(arg)
+        except Exception as exc:
+            exc.add_note(
+                f"[sim] while firing event seq={entry[1]} at cycle "
+                f"{entry[0]} (scheduled at cycle {entry[4]})"
+            )
+            raise
+        if entry[5] == (_F_RECYCLABLE | _F_IN_HEAP):
+            self._free.append(entry)
+        return True
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Run events until the queue drains (or limits hit); return event count.
@@ -154,27 +575,162 @@ class Simulator:
         """
         fired = 0
         watchdog = self.watchdog
-        check_interval = watchdog.check_interval if watchdog is not None else 0
-        while self._queue:
-            head = self._queue[0]
-            if head.cancelled:
-                heapq.heappop(self._queue)
-                continue
-            if until is not None and head.time > until:
-                break
+        if watchdog is not None:
+            check_interval = watchdog.check_interval
+            if check_interval < 1:
+                raise ValueError(
+                    f"watchdog check_interval must be >= 1, got {check_interval!r}"
+                )
+            countdown = check_interval
+        free = self._free
+        pop_next = self._pop_next
+        if max_events is None and watchdog is None:
+            # Specialized loop for the common no-budget, no-watchdog run:
+            # drops the two per-event limit tests and inlines _pop_next's
+            # same-cycle fast path (see there for why it is safe), saving
+            # a Python call for the majority of events.
+            wheel = self._wheel
+            mask = self._wheel_mask
+            while True:
+                entry = None
+                now = self.now
+                if (
+                    self._drain_time == now
+                    and not self._heap
+                    and (until is None or now <= until)
+                ):
+                    bucket = wheel[now & mask]
+                    pos = self._drain_pos
+                    n = len(bucket)
+                    while pos < n:
+                        e = bucket[pos]
+                        if e[2] is not None:
+                            entry = e
+                            self._drain_pos = pos + 1
+                            self._wheel_live -= 1
+                            break
+                        pos += 1
+                if entry is None:
+                    entry = pop_next(until)
+                    if entry is None:
+                        break
+                    self.now = entry[0]
+                callback = entry[2]
+                arg = entry[3]
+                entry[2] = None
+                entry[3] = None
+                try:
+                    if arg is _NO_ARG:
+                        callback()
+                    else:
+                        callback(arg)
+                except Exception as exc:
+                    exc.add_note(
+                        f"[sim] while firing event seq={entry[1]} at cycle "
+                        f"{entry[0]} (scheduled at cycle {entry[4]})"
+                    )
+                    raise
+                if entry[5] == (_F_RECYCLABLE | _F_IN_HEAP):
+                    free.append(entry)
+                fired += 1
+            if until is not None and until > self.now:
+                self.now = until
+            return fired
+        while True:
             if max_events is not None and fired >= max_events:
+                # Only a *fireable* next event trips the budget (an empty
+                # queue, or one whose head lies beyond ``until``, ends the
+                # run normally) — and it stays unconsumed, so peek here.
+                head = self._peek()
+                self._found = None
+                if head is None or (until is not None and head[0] > until):
+                    break
                 raise RuntimeError(
                     f"simulation exceeded max_events={max_events} at cycle {self.now}"
                 )
-            self.step()
+            entry = pop_next(until)
+            if entry is None:
+                break
+            self.now = entry[0]
+            callback = entry[2]
+            arg = entry[3]
+            entry[2] = None
+            entry[3] = None
+            try:
+                if arg is _NO_ARG:
+                    callback()
+                else:
+                    callback(arg)
+            except Exception as exc:
+                exc.add_note(
+                    f"[sim] while firing event seq={entry[1]} at cycle "
+                    f"{entry[0]} (scheduled at cycle {entry[4]})"
+                )
+                raise
+            if entry[5] == (_F_RECYCLABLE | _F_IN_HEAP):
+                free.append(entry)
             fired += 1
-            if watchdog is not None and fired % check_interval == 0:
-                watchdog.check()
+            if watchdog is not None:
+                countdown -= 1
+                if countdown == 0:
+                    watchdog.check()
+                    countdown = check_interval
         if until is not None and until > self.now:
             self.now = until
         return fired
 
     @property
     def pending_events(self) -> int:
-        """Number of live (non-cancelled) scheduled events — O(1)."""
-        return self._live
+        """Number of live (not fired, not cancelled) events — O(1)."""
+        return self._wheel_live + self._heap_live
+
+    def _retained_entries(self) -> int:
+        """Entries physically held by the queue, dead tombstones included.
+
+        Test/debug introspection: compaction keeps this from growing
+        unboundedly under cancel storms.
+        """
+        return len(self._heap) + sum(len(b) for b in self._wheel)
+
+
+class ReferenceHeapSimulator(Simulator):
+    """Pure-heap scheduler with the pre-overhaul implementation shape.
+
+    Routes every event to the overflow heap, bypassing the bucket wheel.
+    The (time, seq) determinism contract makes it produce *exactly* the
+    same firing order as the hybrid :class:`Simulator`; the golden-run
+    and property tests exploit that to cross-check the wheel against a
+    trivially correct reference.
+    """
+
+    def _insert(self, entry: list, time: int) -> None:
+        entry[5] |= _F_IN_HEAP
+        heappush(self._heap, entry)
+        self._heap_live += 1
+
+    def call_at(self, time: int, callback: Callable, arg=_NO_ARG) -> None:
+        now = self.now
+        if time < now:
+            raise ValueError(f"cannot schedule in the past ({time} < {now})")
+        seq = self._seq
+        self._seq = seq + 1
+        free = self._free
+        if free:
+            entry = free.pop()
+            entry[0] = time
+            entry[1] = seq
+            entry[2] = callback
+            entry[3] = arg
+            entry[4] = now
+            entry[5] = _F_RECYCLABLE | _F_IN_HEAP
+        else:
+            entry = [time, seq, callback, arg, now, _F_RECYCLABLE | _F_IN_HEAP]
+        heappush(self._heap, entry)
+        self._heap_live += 1
+
+    def call_after(self, delay: int, callback: Callable, arg=_NO_ARG) -> None:
+        # The base class inlines its wheel insert here; route back through
+        # the heap-only call_at.
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self.call_at(self.now + delay, callback, arg)

@@ -6,11 +6,16 @@ per instruction, including spinning hits), memory stall (for both data and
 synchronization accesses inside the kernel), software backoff, hardware
 backoff (DeNovoSync only), and barrier stall (time in the end-of-kernel
 barrier, indicating load imbalance).
+
+Accounting is hot (several adds per simulated memory operation), so the
+breakdown is a fixed-size int list indexed by the component's ordinal
+(``TimeComponent.<member>.idx``) rather than a ``Counter`` keyed by enum —
+``Enum.__hash__`` is a Python-level hash of the member name and dominated
+profiles.  The public dict-shaped views are unchanged.
 """
 
 from __future__ import annotations
 
-from collections import Counter
 from enum import Enum
 
 
@@ -23,32 +28,40 @@ class TimeComponent(Enum):
     BARRIER_STALL = "barrier"
 
 
+#: Dense ordinal used to index the per-component arrays.
+for _i, _component in enumerate(TimeComponent):
+    _component.idx = _i
+_NUM_COMPONENTS = len(TimeComponent)
+
+
 class TimeBreakdown:
     """Per-core cycle accounting by :class:`TimeComponent`."""
 
+    __slots__ = ("_cycles",)
+
     def __init__(self) -> None:
-        self._cycles: Counter[TimeComponent] = Counter()
+        self._cycles: list[int] = [0] * _NUM_COMPONENTS
 
     def add(self, component: TimeComponent, cycles: int) -> None:
         if cycles < 0:
             raise ValueError(f"negative cycles for {component}: {cycles}")
-        self._cycles[component] += cycles
+        self._cycles[component.idx] += cycles
 
     def get(self, component: TimeComponent) -> int:
-        return self._cycles[component]
+        return self._cycles[component.idx]
 
     def total(self) -> int:
-        return sum(self._cycles.values())
+        return sum(self._cycles)
 
     def as_dict(self) -> dict[str, int]:
-        return {c.value: self._cycles[c] for c in TimeComponent}
+        cycles = self._cycles
+        return {c.value: cycles[c.idx] for c in TimeComponent}
 
     def merged_with(self, other: "TimeBreakdown") -> "TimeBreakdown":
-        # Counter.__add__ silently drops zero-count keys; update() keeps a
-        # component that was explicitly tracked at zero cycles.
+        # Fixed-size arrays make the merge trivially total: every
+        # component survives, including ones tracked at zero cycles.
         merged = TimeBreakdown()
-        merged._cycles.update(self._cycles)
-        merged._cycles.update(other._cycles)
+        merged._cycles = [a + b for a, b in zip(self._cycles, other._cycles)]
         return merged
 
     @staticmethod

@@ -108,3 +108,33 @@ class TestRunTarget:
     def test_run_rejects_bad_spec(self):
         with pytest.raises(SystemExit):
             cli_main(["run", "--workload", "nonsense"])
+
+
+class TestProfileTarget:
+    def test_profile_prints_hot_functions(self, capsys, tmp_path):
+        out_path = tmp_path / "prof.pstats"
+        assert (
+            cli_main(
+                [
+                    "profile",
+                    "--workload", "tatas/counter",
+                    "--protocol", "DeNovoSync",
+                    "--cores", "4",
+                    "--scale", "0.02",
+                    "--top", "5",
+                    "--profile-out", str(out_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "cycles" in out
+        assert "cumtime" in out  # pstats header
+        assert "run_workload" in out  # the profiled entry point
+        import pstats
+
+        assert pstats.Stats(str(out_path)).total_calls > 0
+
+    def test_profile_requires_workload(self):
+        with pytest.raises(SystemExit):
+            cli_main(["profile"])

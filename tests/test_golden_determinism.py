@@ -1,0 +1,65 @@
+"""Golden-run determinism under the hybrid scheduler.
+
+The engine overhaul (bucket-wheel + heap hybrid, free-list, allocation-free
+dispatch) must be invisible to results: every consumer of the simulator —
+figures, chaos differential runs, model checking, trace capture — relies on
+the deterministic (cycle, seq) firing order.  These tests pin that down:
+
+* the same workload run twice produces byte-identical stats JSON and
+  byte-identical trace files;
+* the hybrid scheduler produces byte-identical results to
+  :class:`~repro.sim.engine.ReferenceHeapSimulator`, a pure binary-heap
+  subclass that bypasses the bucket wheel entirely — proving the wheel
+  changes the schedule *order* of nothing.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+import repro.harness.runner as runner_mod
+from repro.config import config_for_cores
+from repro.harness.runner import run_workload
+from repro.sim.engine import ReferenceHeapSimulator
+from repro.trace.events import write_trace
+from repro.workloads.base import KernelSpec
+from repro.workloads.registry import make_kernel
+
+CELLS = [
+    ("tatas", "counter"),  # lock kernel
+    ("barrier", "central"),  # barrier kernel
+    ("nonblocking", "M-S queue"),  # non-blocking kernel
+]
+PROTOCOLS = ["MESI", "DeNovoSync0", "DeNovoSync"]
+
+
+def _golden(family, name, protocol, tmp_path, tag):
+    """(stats JSON bytes, trace SHA-256) for one traced run."""
+    workload = make_kernel(family, name, spec=KernelSpec(scale=0.02))
+    result = run_workload(
+        workload, protocol, config_for_cores(4), seed=1, trace=True
+    )
+    path = tmp_path / f"{tag}.jsonl"
+    write_trace(result.meta["trace"], path)
+    stats = json.dumps(result.summary(), sort_keys=True).encode()
+    return stats, hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+@pytest.mark.parametrize("family,name", CELLS)
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_repeat_runs_are_byte_identical(family, name, protocol, tmp_path):
+    first = _golden(family, name, protocol, tmp_path, "first")
+    second = _golden(family, name, protocol, tmp_path, "second")
+    assert first == second
+
+
+@pytest.mark.parametrize("family,name", CELLS)
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_hybrid_matches_reference_heap_schedule(
+    family, name, protocol, tmp_path, monkeypatch
+):
+    hybrid = _golden(family, name, protocol, tmp_path, "hybrid")
+    monkeypatch.setattr(runner_mod, "Simulator", ReferenceHeapSimulator)
+    reference = _golden(family, name, protocol, tmp_path, "reference")
+    assert hybrid == reference

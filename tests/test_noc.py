@@ -166,17 +166,37 @@ class TestTrafficLedger:
         a.record(MessageClass.WRITEBACK, 5, 0)  # co-located: zero crossings
         b.record(MessageClass.LOAD, 3, 2)
         merged = a.merged_with(b)
-        assert MessageClass.WRITEBACK in merged._flits
+        assert MessageClass.WRITEBACK.value in merged.breakdown()
         assert merged.flit_crossings(MessageClass.WRITEBACK) == 0
         assert merged.message_count(MessageClass.WRITEBACK) == 1
         assert merged.message_count() == 2
+
+    def test_breakdown_total_over_foreign_keys(self):
+        # A protocol extension may record under its own key; the ledger
+        # must keep it: breakdown() is total over every recorded key, and
+        # merging never drops a class (zero-count classes included).
+        a, b = TrafficLedger(), TrafficLedger()
+        a.record("ext-probe", 4, 3)
+        a.record(MessageClass.LOAD, 2, 0)  # zero crossings, must survive
+        b.record("ext-probe", 1, 1)
+        merged = a.merged_with(b)
+        assert merged.breakdown()["ext-probe"] == 13
+        assert merged.flit_crossings("ext-probe") == 13
+        assert merged.message_count("ext-probe") == 2
+        assert merged.breakdown()[MessageClass.LOAD.value] == 0
+        assert merged.message_count() == 2 + 1
+        # every recorded key and every MessageClass member is present
+        assert set(merged.breakdown()) == {m.value for m in MessageClass} | {
+            "ext-probe"
+        }
+        assert merged.flit_crossings() == sum(merged.breakdown().values())
 
     def test_merged_with_zero_keys_from_both_sides(self):
         a, b = TrafficLedger(), TrafficLedger()
         a.record(MessageClass.LOAD, 2, 0)
         b.record(MessageClass.STORE, 4, 0)
         merged = a.merged_with(b)
-        assert MessageClass.LOAD in merged._flits
-        assert MessageClass.STORE in merged._flits
+        assert MessageClass.LOAD.value in merged.breakdown()
+        assert MessageClass.STORE.value in merged.breakdown()
         assert merged.flit_crossings() == 0
         assert merged.message_count() == 2

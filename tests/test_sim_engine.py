@@ -109,12 +109,32 @@ class TestPendingEventsCounter:
             event.cancel()
         # Cancelled events dominate: compaction must have kept the queue
         # from retaining every tombstone (it shrinks whenever live
-        # entries fall below half of a COMPACT_MIN_SIZE-or-larger heap).
+        # entries fall below half of a COMPACT_MIN_SIZE-or-larger side).
         assert sim.pending_events == 1
-        assert len(sim._queue) < sim.COMPACT_MIN_SIZE
+        assert sim._retained_entries() < sim.COMPACT_MIN_SIZE
         assert not keep.cancelled
         fired = []
         sim.schedule_at(1001, lambda: fired.append(1))
+        sim.run()
+        assert fired == [1]
+
+    def test_compaction_shrinks_far_future_heap(self):
+        # Same storm, but beyond the wheel window so it lands in the
+        # overflow heap.
+        sim = Simulator()
+        far = sim.WHEEL_SIZE * 4
+        keep = sim.schedule_at(far + 5000, lambda: None)
+        doomed = [
+            sim.schedule_at(far + t, lambda: None)
+            for t in range(sim.COMPACT_MIN_SIZE * 2)
+        ]
+        for event in doomed:
+            event.cancel()
+        assert sim.pending_events == 1
+        assert sim._retained_entries() < sim.COMPACT_MIN_SIZE
+        assert not keep.cancelled
+        fired = []
+        sim.schedule_at(far + 5001, lambda: fired.append(1))
         sim.run()
         assert fired == [1]
 
@@ -126,7 +146,7 @@ class TestPendingEventsCounter:
         # Below COMPACT_MIN_SIZE the tombstones stay (compaction would
         # cost more than it saves) but the counter is still exact.
         assert sim.pending_events == 1
-        assert len(sim._queue) == 4
+        assert sim._retained_entries() == 4
 
 
 class TestRunLimits:

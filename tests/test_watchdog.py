@@ -174,6 +174,23 @@ class TestWatchdogValidation:
         with pytest.raises(ValueError):
             Watchdog(Simulator(), [], None, window=0)
 
+    def test_run_guards_zero_interval_watchdog(self):
+        """Simulator.run validates the interval itself, so a watchdog-like
+        object that bypasses Watchdog.__init__ raises ValueError, not a
+        ZeroDivisionError (or an infinite poll loop) deep in the run loop."""
+
+        class BrokenWatchdog:
+            check_interval = 0
+
+            def check(self):  # pragma: no cover - never reached
+                raise AssertionError("must not be polled")
+
+        sim = Simulator()
+        sim.watchdog = BrokenWatchdog()
+        sim.schedule_at(1, lambda: None)
+        with pytest.raises(ValueError, match="check_interval"):
+            sim.run()
+
 
 class TestEventAttribution:
     def test_callback_exception_names_scheduling_site(self):
