@@ -6,7 +6,7 @@ PYTHON ?= python
 # needed); with the package installed this still prefers the checkout.
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install test test-fast lint sanitize bench bench-micro profile figures examples clean
+.PHONY: install test test-fast lint sanitize serve bench bench-micro profile figures examples clean
 
 install:
 	pip install -e ".[dev]"
@@ -24,6 +24,14 @@ lint:
 # every kernel x protocol for unannotated races and stale-read hazards.
 sanitize:
 	$(PYTHON) -m repro.harness.cli sanitize --jobs 0
+
+# Simulation-as-a-service: persistent sweep job server, e.g.:
+#   make serve PORT=8642 WORKERS=8
+# then: denovosync-bench submit --port 8642 --sweep-family tatas --wait
+PORT ?= 8642
+WORKERS ?= 0
+serve:
+	$(PYTHON) -m repro.harness.cli serve --port $(PORT) --workers $(WORKERS)
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

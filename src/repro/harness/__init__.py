@@ -1,6 +1,25 @@
 """Experiment harness: runners, figure definitions, reporting."""
 
-from repro.harness.parallel import ResultCache, RunSpec, run_specs
+from repro.harness.parallel import (
+    CellError,
+    CellOutcome,
+    ResultCache,
+    RunSpec,
+    cache_key_for,
+    run_specs,
+    run_specs_outcomes,
+    run_tasks,
+)
 from repro.harness.runner import run_workload
 
-__all__ = ["ResultCache", "RunSpec", "run_specs", "run_workload"]
+__all__ = [
+    "CellError",
+    "CellOutcome",
+    "ResultCache",
+    "RunSpec",
+    "cache_key_for",
+    "run_specs",
+    "run_specs_outcomes",
+    "run_tasks",
+    "run_workload",
+]

@@ -273,6 +273,112 @@ def _run_sanitize(args) -> int:
     return 0 if report.clean else 1
 
 
+def _run_serve(args) -> int:
+    """The ``serve`` target: run the sweep job server until interrupted."""
+    from repro.service import run_server
+
+    cache = None if args.no_cache else default_cache(args.cache_dir)
+    run_server(
+        host=args.host, port=args.port, workers=args.workers, cache=cache
+    )
+    return 0
+
+
+def _submit_cells(args) -> list:
+    """Build the RunSpec cells of a ``submit`` sweep: every requested
+    kernel x protocol x core count, mirroring :func:`run_kernel_figure`."""
+    from repro.config import config_for_cores
+    from repro.harness.parallel import RunSpec, kernel_cell
+    from repro.workloads.base import KernelSpec
+    from repro.workloads.registry import kernel_names
+
+    names = args.names or kernel_names(args.sweep_family)
+    specs = []
+    for cores in args.cores:
+        config = config_for_cores(cores)
+        for name in names:
+            for protocol in args.protocols:
+                specs.append(
+                    RunSpec(
+                        kernel_cell(
+                            args.sweep_family, name, spec=KernelSpec(scale=args.scale)
+                        ),
+                        protocol,
+                        config,
+                        seed=args.seed,
+                    )
+                )
+    return specs
+
+
+def _print_job_detail(status: dict) -> None:
+    counts = status["counts"]
+    print(
+        f"job {status['job']}: {status['status']} "
+        f"({counts['done']} done, {counts['failed']} failed, "
+        f"{counts['running']} running, {counts['queued']} queued)"
+    )
+    for cell in status.get("cell_details", []):
+        line = (
+            f"  [{cell['index']:3d}] {cell['workload']:24s} "
+            f"{cell['protocol']:12s} {cell['cores']:4d} cores  "
+            f"{cell['status']:7s} ({cell['source']})"
+        )
+        if cell["status"] == "done" and cell["summary"]:
+            line += f"  {cell['summary']['cycles']} cycles"
+        elif cell["status"] == "failed" and cell["error"]:
+            line += f"  {cell['error']['kind']}: {cell['error']['message']}"
+        print(line)
+
+
+def _run_submit(args) -> int:
+    """The ``submit`` target: POST a kernel sweep to a running server."""
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.host, args.port)
+    specs = _submit_cells(args)
+    accepted = client.submit_specs(specs)
+    print(
+        f"submitted {accepted['cells']} cells as job {accepted['job']} "
+        f"(poll with: status --job {accepted['job']} --port {args.port})"
+    )
+    if not args.wait:
+        return 0
+    status = client.wait(accepted["job"], timeout=args.wait_timeout)
+    _print_job_detail(status)
+    return 0 if status["status"] == "done" else 1
+
+
+def _run_status(args) -> int:
+    """The ``status`` target: server health + job list, or one job's detail."""
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.host, args.port)
+    if args.job:
+        _print_job_detail(client.job(args.job))
+        return 0
+    health = client.healthz()
+    workers = health["workers"]
+    print(
+        f"service {health['status']}: uptime {health['uptime_seconds']}s, "
+        f"{workers['alive']}/{workers['configured']} workers alive, "
+        f"queue depth {health['queue_depth']}, "
+        f"cache hit rate {health['cache_hit_rate']:.0%}, "
+        f"{health['cells_per_second']:.2f} cells/s"
+    )
+    jobs = client.jobs()["jobs"]
+    if not jobs:
+        print("no jobs submitted")
+    for job in jobs:
+        counts = job["counts"]
+        print(
+            f"  {job['job']}: {job['status']} — {counts['done']}/{job['cells']} done, "
+            f"{counts['failed']} failed, {counts['running']} running, "
+            f"{counts['queued']} queued"
+        )
+    return 0
+
+
 def _build_workload(args):
     """Resolve ``--workload family/name`` into (workload, core count)."""
     from repro.workloads.base import KernelSpec
@@ -406,7 +512,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "target",
-        choices=ALL_TARGETS + ["all", "run", "profile", "chaos", "mc", "sanitize"],
+        choices=ALL_TARGETS
+        + ["all", "run", "profile", "chaos", "mc", "sanitize",
+           "serve", "submit", "status"],
     )
     parser.add_argument(
         "--workload", default=None,
@@ -528,6 +636,47 @@ def main(argv: list[str] | None = None) -> int:
         "file under src/repro changes)",
     )
     parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="for 'serve'/'submit'/'status': service address "
+        "(default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=8642,
+        help="for 'serve'/'submit'/'status': service port (default: 8642; "
+        "serve accepts 0 for an ephemeral port)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="for 'serve': persistent worker processes "
+        "(default: 0 = all host cores)",
+    )
+    parser.add_argument(
+        "--sweep-family", choices=["tatas", "array", "nonblocking", "barrier"],
+        default="tatas",
+        help="for 'submit': kernel family of the submitted sweep "
+        "(default: tatas)",
+    )
+    parser.add_argument(
+        "--names", nargs="+", default=None,
+        help="for 'submit': kernel bar names to sweep "
+        "(default: every kernel in the family)",
+    )
+    parser.add_argument(
+        "--wait", action="store_true",
+        help="for 'submit': poll the job until it settles and print "
+        "per-cell outcomes (exit 1 if any cell failed)",
+    )
+    parser.add_argument(
+        "--wait-timeout", type=float, default=600.0,
+        help="for 'submit --wait': give up after this many seconds "
+        "(default: 600)",
+    )
+    parser.add_argument(
+        "--job", default=None,
+        help="for 'status': show one job's per-cell detail instead of "
+        "the job list",
+    )
+    parser.add_argument(
         "--out", default=None,
         help="directory for per-figure .txt reports (default: stdout)",
     )
@@ -555,6 +704,12 @@ def main(argv: list[str] | None = None) -> int:
         return _run_mc(args)
     if args.target == "sanitize":
         return _run_sanitize(args)
+    if args.target == "serve":
+        return _run_serve(args)
+    if args.target == "submit":
+        return _run_submit(args)
+    if args.target == "status":
+        return _run_status(args)
 
     targets = ALL_TARGETS if args.target == "all" else [args.target]
     for target in targets:

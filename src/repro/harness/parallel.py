@@ -170,27 +170,68 @@ def execute_spec(spec: RunSpec) -> RunResult:
 
 # -- code-version fingerprint -------------------------------------------------
 
-_code_version: Optional[str] = None
+#: (source fingerprint, digest) of the last :func:`code_version` call.
+_code_version_memo: Optional[tuple[tuple, str]] = None
+
+
+def _source_root() -> Path:
+    """Directory whose ``*.py`` tree defines the code version (the
+    installed ``repro`` package); a seam for tests."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def _source_fingerprint(root: Path) -> tuple:
+    """Cheap change detector: (relative path, mtime_ns, size) per source
+    file.  Re-stating the tree costs microseconds, so a long-lived process
+    (the job server) can check it on every cache-key computation; the full
+    content rehash only happens when this tuple changes."""
+    entries = []
+    for path in sorted(root.rglob("*.py")):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue  # deleted mid-scan; the next fingerprint differs anyway
+        entries.append((str(path.relative_to(root)), stat.st_mtime_ns, stat.st_size))
+    return tuple(entries)
+
+
+def _hash_source_tree(root: Path) -> str:
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
 
 
 def code_version() -> str:
-    """SHA-256 over every ``repro`` source file; cached per process.
+    """SHA-256 over every ``repro`` source file.
 
     Part of every cache key: editing anything under ``src/repro``
-    invalidates all previously cached results.
+    invalidates all previously cached results.  The digest is memoized
+    against an mtime/size fingerprint of the source tree rather than per
+    process, so a persistent server picks up source edits immediately
+    instead of serving stale cache keys for its whole lifetime.
     """
-    global _code_version
-    if _code_version is None:
-        import repro
+    global _code_version_memo
+    root = _source_root()
+    fingerprint = _source_fingerprint(root)
+    if _code_version_memo is None or _code_version_memo[0] != fingerprint:
+        _code_version_memo = (fingerprint, _hash_source_tree(root))
+    return _code_version_memo[1]
 
-        root = Path(repro.__file__).resolve().parent
-        digest = hashlib.sha256()
-        for path in sorted(root.rglob("*.py")):
-            digest.update(str(path.relative_to(root)).encode())
-            digest.update(b"\0")
-            digest.update(path.read_bytes())
-        _code_version = digest.hexdigest()
-    return _code_version
+
+def cache_key_for(spec: RunSpec) -> str:
+    """The content-addressed cache key of one cell: SHA-256 over the
+    spec's :meth:`~RunSpec.cache_token` plus the current code version.
+    Module-level so the job server can dedupe in-flight cells without a
+    cache instance."""
+    token = spec.cache_token()
+    token["code_version"] = code_version()
+    blob = json.dumps(token, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
 
 
 # -- the on-disk result cache -------------------------------------------------
@@ -212,10 +253,7 @@ class ResultCache:
         self.stores = 0
 
     def key_for(self, spec: RunSpec) -> str:
-        token = spec.cache_token()
-        token["code_version"] = code_version()
-        blob = json.dumps(token, sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(blob.encode()).hexdigest()
+        return cache_key_for(spec)
 
     def _path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
@@ -234,9 +272,23 @@ class ResultCache:
         self.hits += 1
         return result
 
+    #: Everything a failed write may raise: filesystem errors, plus what
+    #: ``pickle.dump`` raises for unpicklable payloads (``PicklingError``,
+    #: but also bare ``TypeError``/``AttributeError``/``ValueError`` from
+    #: ``__reduce__`` of builtin types, and ``RecursionError`` on cyclic
+    #: monsters).  All of them mean "skip the store", never "fail the sweep".
+    _STORE_ERRORS = (
+        OSError,
+        pickle.PickleError,
+        TypeError,
+        AttributeError,
+        ValueError,
+        RecursionError,
+    )
+
     def store(self, spec: RunSpec, result: RunResult) -> None:
-        """Best-effort: an unwritable cache must never fail a sweep whose
-        simulations already completed."""
+        """Best-effort: an unwritable cache or an unpicklable result must
+        never fail a sweep whose simulations already completed."""
         path = self._path_for(self.key_for(spec))
         tmp_name = None
         try:
@@ -244,15 +296,22 @@ class ResultCache:
             # Atomic publish: a concurrent reader sees the old entry or the
             # new one, never a torn pickle.
             fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(result.portable_copy(), fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_name, path)
-        except OSError:
-            if tmp_name is not None:
-                try:
-                    os.unlink(tmp_name)
-                except OSError:
-                    pass
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(
+                        result.portable_copy(), fh, protocol=pickle.HIGHEST_PROTOCOL
+                    )
+                os.replace(tmp_name, path)
+                tmp_name = None
+            finally:
+                # Whatever went wrong (including errors _STORE_ERRORS does
+                # not cover), never leak the mkstemp temp file.
+                if tmp_name is not None:
+                    try:
+                        os.unlink(tmp_name)
+                    except OSError:
+                        pass
+        except self._STORE_ERRORS:
             return
         self.stores += 1
 
@@ -260,11 +319,124 @@ class ResultCache:
 # -- the sweep executor -------------------------------------------------------
 
 
-def resolve_jobs(jobs: Optional[int]) -> int:
-    """Normalize a ``--jobs`` value: None/0/negative mean "all host cores"."""
+def resolve_jobs(jobs: Optional[int], *, cap: Optional[int] = None) -> int:
+    """Normalize a ``--jobs`` value: None/0/negative mean "all host cores".
+
+    ``cap`` bounds the answer from above (a service's configured worker
+    budget); it applies even when ``os.cpu_count()`` cannot be determined
+    and the core-count fallback of 1 kicks in.  The result is always >= 1.
+    """
     if jobs is None or jobs < 1:
-        return os.cpu_count() or 1
-    return jobs
+        jobs = os.cpu_count() or 1
+    if cap is not None:
+        jobs = min(jobs, cap)
+    return max(1, jobs)
+
+
+@dataclass(frozen=True)
+class CellError:
+    """Structured record of one failed sweep cell.
+
+    Picklable and JSON-friendly (``exception`` excepted): the job server
+    ships these in ``GET /jobs/<id>`` payloads, and :func:`run_specs` uses
+    ``exception`` to re-raise the original error for serial callers.
+    """
+
+    kind: str
+    message: str
+    traceback: str
+    exception: Optional[BaseException] = None
+
+    @classmethod
+    def from_exception(cls, exc: BaseException) -> "CellError":
+        import traceback as traceback_mod
+
+        return cls(
+            kind=type(exc).__name__,
+            message=str(exc),
+            traceback="".join(
+                traceback_mod.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+            exception=exc,
+        )
+
+    def as_dict(self) -> dict:
+        return {"kind": self.kind, "message": self.message, "traceback": self.traceback}
+
+
+@dataclass
+class CellOutcome:
+    """Result-or-error slot for one cell of a sweep.
+
+    Exactly one of ``result`` / ``error`` is set.  ``source`` records how
+    the result was obtained: ``"cache"`` (served from the on-disk cache)
+    or ``"run"`` (freshly simulated).
+    """
+
+    spec: RunSpec
+    result: Optional[RunResult] = None
+    error: Optional[CellError] = None
+    source: str = "run"
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def run_specs_outcomes(
+    specs: Iterable[RunSpec],
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> list[CellOutcome]:
+    """Run every spec with per-cell failure isolation.
+
+    Like :func:`run_specs` but never raises for a failing cell: each slot
+    of the returned list is a :class:`CellOutcome` carrying either the
+    cell's :class:`RunResult` or a structured :class:`CellError`.  Every
+    completed cell is written back to ``cache`` even when siblings fail —
+    a poisoned cell costs only its own slot, not the sweep.
+    """
+    specs = list(specs)
+    outcomes: list[Optional[CellOutcome]] = [None] * len(specs)
+    pending: list[int] = []
+    for index, spec in enumerate(specs):
+        cached = cache.load(spec) if cache is not None else None
+        if cached is not None:
+            outcomes[index] = CellOutcome(spec, result=cached, source="cache")
+        else:
+            pending.append(index)
+
+    jobs = resolve_jobs(jobs)
+    if jobs > 1 and len(pending) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = [(i, pool.submit(execute_spec, specs[i])) for i in pending]
+            for index, future in futures:
+                try:
+                    result = future.result()
+                except Exception as exc:
+                    outcomes[index] = CellOutcome(
+                        specs[index], error=CellError.from_exception(exc)
+                    )
+                else:
+                    outcomes[index] = CellOutcome(specs[index], result=result)
+    else:
+        for index in pending:
+            try:
+                result = execute_spec(specs[index])
+            except Exception as exc:
+                outcomes[index] = CellOutcome(
+                    specs[index], error=CellError.from_exception(exc)
+                )
+            else:
+                outcomes[index] = CellOutcome(specs[index], result=result)
+
+    if cache is not None:
+        for index in pending:
+            outcome = outcomes[index]
+            if outcome is not None and outcome.result is not None:
+                cache.store(specs[index], outcome.result)
+    return outcomes  # type: ignore[return-value]
 
 
 def run_specs(
@@ -280,47 +452,70 @@ def run_specs(
     submission order regardless of completion order, and each cell is
     hermetic, so the returned list is identical for any ``jobs`` value.
     Freshly simulated results are written back to ``cache`` when given.
+
+    A raising cell still fails the sweep (the first cell error is
+    re-raised, in spec order), but only after every other cell has run to
+    completion and every completed result has been stored to ``cache`` —
+    re-running the sweep after fixing the poisoned cell re-simulates
+    nothing else.  Use :func:`run_specs_outcomes` to capture per-cell
+    errors structurally instead of raising.
     """
-    specs = list(specs)
-    results: list[Optional[RunResult]] = [None] * len(specs)
-    pending: list[int] = []
-    for index, spec in enumerate(specs):
-        cached = cache.load(spec) if cache is not None else None
-        if cached is not None:
-            results[index] = cached
-        else:
-            pending.append(index)
-
-    jobs = resolve_jobs(jobs)
-    if jobs > 1 and len(pending) > 1:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-            futures = [(i, pool.submit(execute_spec, specs[i])) for i in pending]
-            for index, future in futures:
-                results[index] = future.result()
-    else:
-        for index in pending:
-            results[index] = execute_spec(specs[index])
-
-    if cache is not None:
-        for index in pending:
-            cache.store(specs[index], results[index])
-    return results  # type: ignore[return-value]
+    outcomes = run_specs_outcomes(specs, jobs=jobs, cache=cache)
+    for outcome in outcomes:
+        if outcome.error is not None:
+            exc = outcome.error.exception
+            if exc is None:  # pragma: no cover - exception always captured
+                raise RuntimeError(
+                    f"cell {outcome.spec} failed: {outcome.error.message}"
+                )
+            completed = sum(1 for o in outcomes if o.ok)
+            if hasattr(exc, "add_note"):
+                exc.add_note(
+                    f"sweep cell {outcome.spec.workload!r} under "
+                    f"{outcome.spec.protocol} failed; {completed}/{len(outcomes)} "
+                    f"sibling cells completed and were retained in the cache"
+                )
+            raise exc
+    return [outcome.result for outcome in outcomes]  # type: ignore[return-value]
 
 
-def run_tasks(fn, calls: Iterable, *, jobs: int = 1) -> list:
+def run_tasks(
+    fn, calls: Iterable, *, jobs: int = 1, return_exceptions: bool = False
+) -> list:
     """Generic fan-out: ``[fn(call) for call in calls]`` with the same
     execution contract as :func:`run_specs` — ``jobs=1`` runs in-process,
     ``jobs>1`` uses a process pool (``fn`` and every call must pickle),
     and results always come back in submission order.  Used by sweeps
     whose cells are not :class:`RunSpec`-shaped (e.g. the model checker's
-    litmus × protocol cells)."""
+    litmus × protocol cells).
+
+    Every call runs to completion even when a sibling raises.  With
+    ``return_exceptions`` the failed slots hold the exception objects
+    themselves (mirroring ``asyncio.gather``); otherwise the first error
+    is re-raised once all calls have finished.
+    """
     calls = list(calls)
     jobs = resolve_jobs(jobs)
+    slots: list = [None] * len(calls)
     if jobs > 1 and len(calls) > 1:
         with ProcessPoolExecutor(max_workers=min(jobs, len(calls))) as pool:
             futures = [pool.submit(fn, call) for call in calls]
-            return [future.result() for future in futures]
-    return [fn(call) for call in calls]
+            for index, future in enumerate(futures):
+                try:
+                    slots[index] = future.result()
+                except Exception as exc:
+                    slots[index] = exc
+    else:
+        for index, call in enumerate(calls):
+            try:
+                slots[index] = fn(call)
+            except Exception as exc:
+                slots[index] = exc
+    if not return_exceptions:
+        for slot in slots:
+            if isinstance(slot, Exception):
+                raise slot
+    return slots
 
 
 def default_cache(cache_dir: Optional[str] = None) -> ResultCache:

@@ -1,0 +1,45 @@
+"""Simulation-as-a-service: a long-running asyncio sweep job server.
+
+The service wraps the existing :mod:`repro.harness.parallel` substrate —
+:class:`~repro.harness.parallel.RunSpec` cells, the persistent
+process-pool fan-out, and the content-addressed
+:class:`~repro.harness.parallel.ResultCache` — behind a minimal
+stdlib-only HTTP/1.1 API:
+
+* ``POST /jobs`` — submit a sweep job (a list of cell specs)
+* ``GET /jobs`` — list submitted jobs
+* ``GET /jobs/<id>`` — per-job progress: completed/running/queued counts
+  and per-cell outcomes
+* ``GET /healthz`` — liveness (uptime, worker-pool health)
+* ``GET /metrics`` — Prometheus-style text metrics (queue depth,
+  throughput, cache hit rate, worker liveness)
+
+Identical cells are deduped *globally* by the inputs+code-hash cache key:
+two users submitting the same cell share one simulation, whether it is
+still in flight or already on disk.  A failing cell fails only its own
+job entry; sibling cells complete and are cached (the failure-isolation
+contract of :func:`repro.harness.parallel.run_specs_outcomes`).
+"""
+
+from repro.service.client import DEFAULT_HOST, DEFAULT_PORT, ServiceClient
+from repro.service.executor import SweepExecutor
+from repro.service.jobs import Job, JobCell, JobRegistry
+from repro.service.metrics import ServiceMetrics
+from repro.service.server import SweepService, run_server
+from repro.service.specs import config_from_dict, spec_from_dict, spec_to_dict
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "Job",
+    "JobCell",
+    "JobRegistry",
+    "ServiceClient",
+    "ServiceMetrics",
+    "SweepExecutor",
+    "SweepService",
+    "config_from_dict",
+    "run_server",
+    "spec_from_dict",
+    "spec_to_dict",
+]

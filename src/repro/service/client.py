@@ -1,0 +1,101 @@
+"""Blocking stdlib client for the sweep service (CLI + tests).
+
+Thin wrapper over :mod:`http.client`: every method opens one connection,
+performs one request, and returns parsed JSON (or raw text for
+``/metrics``).  Raises :class:`ServiceError` on non-2xx responses with
+the server's error message attached.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Iterable, Optional
+
+from repro.harness.parallel import RunSpec
+from repro.service.specs import spec_to_dict
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8642
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        *,
+        timeout: float = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str, payload: Optional[dict] = None):
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode()
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            if response.status >= 400:
+                try:
+                    message = json.loads(raw).get("error", raw.decode(errors="replace"))
+                except (json.JSONDecodeError, AttributeError):
+                    message = raw.decode(errors="replace")
+                raise ServiceError(response.status, message)
+            return response, raw
+        finally:
+            connection.close()
+
+    def _json(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        _, raw = self._request(method, path, payload)
+        return json.loads(raw)
+
+    # -- endpoints -----------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def metrics(self) -> str:
+        _, raw = self._request("GET", "/metrics")
+        return raw.decode()
+
+    def submit_cells(self, cells: list[dict]) -> dict:
+        return self._json("POST", "/jobs", {"cells": cells})
+
+    def submit_specs(self, specs: Iterable[RunSpec]) -> dict:
+        return self.submit_cells([spec_to_dict(spec) for spec in specs])
+
+    def jobs(self) -> dict:
+        return self._json("GET", "/jobs")
+
+    def job(self, job_id: str) -> dict:
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def wait(self, job_id: str, *, timeout: float = 600.0, poll: float = 0.2) -> dict:
+        """Poll ``/jobs/<id>`` until the job settles (done or failed)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.job(job_id)
+            if status["status"] in ("done", "failed"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['status']} after {timeout}s "
+                    f"(counts: {status['counts']})"
+                )
+            time.sleep(poll)

@@ -1,0 +1,119 @@
+"""Persistent worker pool with global in-flight dedupe for the service.
+
+Unlike :func:`repro.harness.parallel.run_specs`, which spins a pool up
+and down per sweep, the service keeps one
+:class:`~concurrent.futures.ProcessPoolExecutor` alive for its whole
+lifetime (warm workers, no per-job fork cost) and maintains an *in-flight
+index* from cache key to pool future.  Submissions check, in order:
+
+1. the on-disk :class:`~repro.harness.parallel.ResultCache` (a completed
+   identical cell, from any past job or process) — ``cache``;
+2. the in-flight index (an identical cell currently simulating for some
+   other job) — ``dedupe``: the new job attaches to the same future;
+3. otherwise the cell is submitted to the pool — ``run``.
+
+Together with the content-addressed key (inputs + code hash) this gives
+the service's core guarantee: **each unique cell simulates exactly once**,
+no matter how many overlapping jobs are submitted concurrently.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Optional
+
+from repro.harness.parallel import (
+    ResultCache,
+    RunSpec,
+    execute_spec,
+    resolve_jobs,
+)
+from repro.stats.collector import RunResult
+
+
+class SweepExecutor:
+    """Owns the worker pool, the result cache, and the in-flight index."""
+
+    def __init__(
+        self,
+        *,
+        workers: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        max_workers_cap: Optional[int] = None,
+    ) -> None:
+        self.workers = resolve_jobs(workers, cap=max_workers_cap)
+        self.cache = cache
+        self._pool: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
+            max_workers=self.workers
+        )
+        self._inflight: dict[str, Future] = {}
+
+    # -- submission ----------------------------------------------------------
+
+    def lookup(self, spec: RunSpec, key: str):
+        """Resolve one cell; returns ``(source, payload)`` where source is
+        ``"cache"`` (payload: the cached :class:`RunResult`), ``"dedupe"``
+        (payload: the sibling's in-flight future) or ``"run"`` (payload: a
+        freshly submitted future)."""
+        if self._pool is None:
+            raise RuntimeError("executor is shut down")
+        if self.cache is not None:
+            cached = self.cache.load(spec)
+            if cached is not None:
+                return "cache", cached
+        future = self._inflight.get(key)
+        if future is not None:
+            return "dedupe", future
+        future = self._pool.submit(execute_spec, spec)
+        self._inflight[key] = future
+        return "run", future
+
+    def complete(self, key: str, spec: RunSpec, result: Optional[RunResult]) -> None:
+        """Owner-side completion: retire the in-flight entry and persist a
+        successful result so later submissions become cache hits.  Must run
+        before any later submission is processed on the same event loop
+        (the server's cell watcher guarantees this ordering)."""
+        self._inflight.pop(key, None)
+        if result is not None and self.cache is not None:
+            self.cache.store(spec, result)
+
+    # -- introspection -------------------------------------------------------
+
+    def queue_depth(self) -> int:
+        """Unique cells submitted to the pool and not yet completed."""
+        return len(self._inflight)
+
+    def running_count(self) -> int:
+        return sum(1 for future in self._inflight.values() if future.running())
+
+    def worker_health(self) -> dict:
+        """Best-effort worker liveness: configured size, live processes,
+        and whether the pool has broken (a worker died hard)."""
+        alive = 0
+        broken = False
+        pool = self._pool
+        if pool is None:
+            return {"configured": self.workers, "alive": 0, "broken": False, "shutdown": True}
+        broken = bool(getattr(pool, "_broken", False))
+        processes = getattr(pool, "_processes", None) or {}
+        try:
+            alive = sum(1 for proc in processes.values() if proc.is_alive())
+        except Exception:  # pragma: no cover - interpreter-internal drift
+            alive = len(processes)
+        return {
+            "configured": self.workers,
+            "alive": alive,
+            "broken": broken,
+            "shutdown": False,
+        }
+
+    @property
+    def healthy(self) -> bool:
+        health = self.worker_health()
+        return not health["broken"] and not health["shutdown"]
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        self._inflight.clear()

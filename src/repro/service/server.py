@@ -1,0 +1,317 @@
+"""The asyncio sweep job server: stdlib-only HTTP/1.1 over a worker pool.
+
+One event loop owns all bookkeeping (job registry, in-flight index,
+metrics); worker processes only ever see picklable
+:class:`~repro.harness.parallel.RunSpec` cells.  Each submitted cell gets
+a *watcher* task that awaits the (possibly shared) pool future and
+settles the cell — the owning watcher also retires the in-flight entry
+and persists the result to the cache, so a cell's lifecycle is:
+
+    POST /jobs -> lookup (cache | dedupe | run) -> watcher await
+        -> settle cell (done/failed) -> [owner] cache.store + retire key
+
+The HTTP layer is deliberately minimal: request line + headers +
+``Content-Length`` body, ``Connection: close`` responses, JSON bodies
+everywhere except the Prometheus ``/metrics`` text.  It exists so the
+service has zero dependencies, not to be a general web server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+from repro.harness.parallel import (
+    CellError,
+    ResultCache,
+    RunSpec,
+    cache_key_for,
+)
+from repro.service.executor import SweepExecutor
+from repro.service.jobs import Job, JobCell, JobRegistry
+from repro.service.metrics import ServiceMetrics
+from repro.service.specs import spec_from_dict
+
+#: Largest accepted request body; a 4096-cell job with full configs is
+#: well under this.
+MAX_BODY_BYTES = 32 * 1024 * 1024
+#: Largest accepted request line / header line.
+MAX_LINE_BYTES = 64 * 1024
+
+
+class BadRequest(Exception):
+    """A malformed request; rendered as an HTTP 400 with the message."""
+
+
+class SweepService:
+    """The server: routing, job submission, and cell watchers."""
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        max_workers_cap: Optional[int] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.executor = SweepExecutor(
+            workers=workers, cache=cache, max_workers_cap=max_workers_cap
+        )
+        self.registry = JobRegistry()
+        self.metrics = ServiceMetrics()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._watchers: set[asyncio.Task] = set()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start serving; returns the bound (host, port) — with
+        ``port=0`` the kernel picks an ephemeral port."""
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port, limit=MAX_LINE_BYTES
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._watchers):
+            task.cancel()
+        if self._watchers:
+            await asyncio.gather(*self._watchers, return_exceptions=True)
+        self.executor.shutdown()
+
+    # -- HTTP plumbing -------------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await self._read_request(reader)
+                if request is None:
+                    return
+                method, path, body = request
+                self.metrics.bump("requests")
+                status, content_type, payload = self._route(method, path, body)
+            except BadRequest as exc:
+                self.metrics.bump("requests")
+                self.metrics.bump("bad_requests")
+                status, content_type, payload = (
+                    400,
+                    "application/json",
+                    json.dumps({"error": str(exc)}).encode(),
+                )
+            except asyncio.IncompleteReadError:
+                return
+            await self._respond(writer, status, content_type, payload)
+        except (ConnectionError, asyncio.LimitOverrunError):
+            pass  # client went away or sent garbage; nothing to salvage
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[tuple[str, str, bytes]]:
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        try:
+            method, target, _version = request_line.decode("latin-1").split(None, 2)
+        except ValueError:
+            raise BadRequest("malformed request line") from None
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise BadRequest("malformed Content-Length") from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise BadRequest(f"body too large (limit {MAX_BODY_BYTES} bytes)")
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target.split("?", 1)[0], body
+
+    async def _respond(
+        self, writer: asyncio.StreamWriter, status: int, content_type: str, body: bytes
+    ) -> None:
+        reason = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                  404: "Not Found", 405: "Method Not Allowed"}.get(status, "OK")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    # -- routing -------------------------------------------------------------
+
+    def _route(self, method: str, path: str, body: bytes) -> tuple[int, str, bytes]:
+        def as_json(status: int, payload: dict) -> tuple[int, str, bytes]:
+            return status, "application/json", (json.dumps(payload) + "\n").encode()
+
+        if path == "/healthz" and method == "GET":
+            return as_json(200, self._healthz())
+        if path == "/metrics" and method == "GET":
+            text = self.metrics.render(
+                queue_depth=self.executor.queue_depth(),
+                running=self.executor.running_count(),
+                workers=self.executor.worker_health(),
+            )
+            return 200, "text/plain; version=0.0.4", text.encode()
+        if path == "/jobs":
+            if method == "POST":
+                job = self._submit_job(body)
+                return as_json(202, {"job": job.id, "cells": len(job.cells),
+                                     "status_url": f"/jobs/{job.id}"})
+            if method == "GET":
+                return as_json(
+                    200, {"jobs": [job.summary_dict() for job in self.registry.all()]}
+                )
+            return 405, "application/json", b'{"error": "method not allowed"}\n'
+        if path.startswith("/jobs/"):
+            if method != "GET":
+                return 405, "application/json", b'{"error": "method not allowed"}\n'
+            job = self.registry.get(path[len("/jobs/"):])
+            if job is None:
+                return 404, "application/json", b'{"error": "no such job"}\n'
+            return as_json(200, job.as_dict())
+        return 404, "application/json", b'{"error": "no such endpoint"}\n'
+
+    def _healthz(self) -> dict:
+        workers = self.executor.worker_health()
+        status = "ok" if self.executor.healthy else "degraded"
+        payload = {
+            "status": status,
+            "jobs": len(self.registry),
+            "workers": workers,
+        }
+        payload.update(
+            self.metrics.snapshot(
+                queue_depth=self.executor.queue_depth(),
+                running=self.executor.running_count(),
+                workers=workers,
+            )
+        )
+        return payload
+
+    # -- job submission ------------------------------------------------------
+
+    def _submit_job(self, body: bytes) -> Job:
+        try:
+            payload = json.loads(body or b"{}")
+        except json.JSONDecodeError as exc:
+            raise BadRequest(f"invalid JSON body: {exc}") from None
+        if not isinstance(payload, dict) or not isinstance(payload.get("cells"), list):
+            raise BadRequest('body must be {"cells": [...]}')
+        if not payload["cells"]:
+            raise BadRequest("job has no cells")
+        try:
+            specs = [spec_from_dict(cell) for cell in payload["cells"]]
+        except ValueError as exc:
+            raise BadRequest(str(exc)) from None
+
+        job = self.registry.create()
+        self.metrics.bump("jobs_submitted")
+        self.metrics.bump("cells_submitted", len(specs))
+        for index, spec in enumerate(specs):
+            job.cells.append(self._submit_cell(job, index, spec))
+        return job
+
+    def _submit_cell(self, job: Job, index: int, spec: RunSpec) -> JobCell:
+        key = cache_key_for(spec)
+        source, resolved = self.executor.lookup(spec, key)
+        cell = JobCell(index=index, spec=spec, key=key, source=source)
+        if source == "cache":
+            cell.status = "done"
+            cell.summary = resolved.summary()
+            self.metrics.bump("cache_hits")
+        else:
+            cell.future = resolved
+            if source == "dedupe":
+                self.metrics.bump("dedupe_hits")
+            watcher = asyncio.create_task(self._watch_cell(cell, owner=source == "run"))
+            self._watchers.add(watcher)
+            watcher.add_done_callback(self._watchers.discard)
+        return cell
+
+    async def _watch_cell(self, cell: JobCell, *, owner: bool) -> None:
+        """Await one cell's pool future and settle it; failure isolation
+        happens here — an exception settles only this cell."""
+        try:
+            result = await asyncio.wrap_future(cell.future)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            if owner:
+                self.executor.complete(cell.key, cell.spec, None)
+            cell.status = "failed"
+            cell.error = CellError.from_exception(exc).as_dict()
+            cell.future = None
+            self.metrics.bump("cells_failed")
+        else:
+            if owner:
+                # Store before marking done: a submission processed after
+                # this point sees the cache entry, never a retired key.
+                self.executor.complete(cell.key, cell.spec, result)
+            cell.status = "done"
+            cell.summary = result.summary()
+            cell.future = None
+            if owner:
+                self.metrics.bump("cells_simulated")
+
+
+def run_server(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    ready_message: bool = True,
+) -> None:
+    """Blocking entry point used by ``denovosync-bench serve``."""
+
+    async def main() -> None:
+        service = SweepService(host=host, port=port, workers=workers, cache=cache)
+        bound_host, bound_port = await service.start()
+        if ready_message:
+            print(
+                f"sweep service on http://{bound_host}:{bound_port} "
+                f"({service.executor.workers} workers, cache "
+                f"{'off' if cache is None else cache.root})",
+                flush=True,
+            )
+        try:
+            await service.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
