@@ -6,7 +6,7 @@ PYTHON ?= python
 # needed); with the package installed this still prefers the checkout.
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install test test-fast lint sanitize serve bench bench-micro profile figures examples clean
+.PHONY: install test test-fast lint sanitize serve chaos-service bench bench-micro profile figures examples clean
 
 install:
 	pip install -e ".[dev]"
@@ -32,6 +32,12 @@ PORT ?= 8642
 WORKERS ?= 0
 serve:
 	$(PYTHON) -m repro.harness.cli serve --port $(PORT) --workers $(WORKERS)
+
+# Service-level chaos: SIGKILL workers mid-sweep against a live server
+# and assert it self-heals (every cell settles, cache invariant holds).
+chaos-service:
+	$(PYTHON) -m repro.harness.cli chaos-service --workers 2 --kills 2 \
+		--cell-deadline 5.0
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

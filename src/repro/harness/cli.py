@@ -279,9 +279,38 @@ def _run_serve(args) -> int:
 
     cache = None if args.no_cache else default_cache(args.cache_dir)
     run_server(
-        host=args.host, port=args.port, workers=args.workers, cache=cache
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache=cache,
+        max_queued=args.max_queued,
+        cell_deadline=args.cell_deadline,
+        max_retries=args.max_retries,
+        drain_timeout=args.drain_timeout,
     )
     return 0
+
+
+def _run_chaos_service(args) -> int:
+    """The ``chaos-service`` target: attack a live sweep server (worker
+    SIGKILLs, poisoned cells, deadline overruns) and verify it self-heals."""
+    from repro.service.chaos import ChaosConfig, run_service_chaos
+
+    config = ChaosConfig(
+        workers=args.workers or 2,
+        kills=args.kills,
+        kill_interval=args.kill_interval,
+        cores=args.cores[0],
+        scale=args.scale if args.scale_given else 0.3,
+        seed=args.seed,
+        cell_deadline=args.cell_deadline or 5.0,
+        max_retries=args.max_retries,
+        wait_timeout=args.wait_timeout,
+        cache_dir=args.cache_dir,
+    )
+    report = run_service_chaos(config)
+    print(report.describe())
+    return 0 if report.ok else 1
 
 
 def _submit_cells(args) -> list:
@@ -514,7 +543,7 @@ def main(argv: list[str] | None = None) -> int:
         "target",
         choices=ALL_TARGETS
         + ["all", "run", "profile", "chaos", "mc", "sanitize",
-           "serve", "submit", "status"],
+           "serve", "submit", "status", "chaos-service"],
     )
     parser.add_argument(
         "--workload", default=None,
@@ -651,6 +680,39 @@ def main(argv: list[str] | None = None) -> int:
         "(default: 0 = all host cores)",
     )
     parser.add_argument(
+        "--max-queued", type=int, default=4096,
+        help="for 'serve': admission bound — reject job submissions with "
+        "HTTP 503 + Retry-After once this many cells are queued or "
+        "running (default: 4096)",
+    )
+    parser.add_argument(
+        "--cell-deadline", type=float, default=None,
+        help="for 'serve'/'chaos-service': per-cell wall-clock execution "
+        "budget in seconds; an overrunning cell fails with "
+        "deadline_exceeded and its worker is recycled (default: none)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=3,
+        help="for 'serve'/'chaos-service': execution attempts per cell "
+        "before it settles as failed (default: 3)",
+    )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=30.0,
+        help="for 'serve': on SIGTERM/SIGINT, wait up to this many "
+        "seconds for in-flight cells to settle before exiting "
+        "(default: 30)",
+    )
+    parser.add_argument(
+        "--kills", type=int, default=2,
+        help="for 'chaos-service': worker processes to SIGKILL mid-cell "
+        "(default: 2)",
+    )
+    parser.add_argument(
+        "--kill-interval", type=float, default=0.3,
+        help="for 'chaos-service': seconds between observing a running "
+        "cell and killing a worker (default: 0.3)",
+    )
+    parser.add_argument(
         "--sweep-family", choices=["tatas", "array", "nonblocking", "barrier"],
         default="tatas",
         help="for 'submit': kernel family of the submitted sweep "
@@ -687,6 +749,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     args.cores_given = "--cores" in (argv or [])
+    args.scale_given = "--scale" in (argv or [])
 
     if args.target == "run":
         if args.workload is None:
@@ -710,6 +773,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_submit(args)
     if args.target == "status":
         return _run_status(args)
+    if args.target == "chaos-service":
+        return _run_chaos_service(args)
 
     targets = ALL_TARGETS if args.target == "all" else [args.target]
     for target in targets:

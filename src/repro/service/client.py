@@ -4,6 +4,17 @@ Thin wrapper over :mod:`http.client`: every method opens one connection,
 performs one request, and returns parsed JSON (or raw text for
 ``/metrics``).  Raises :class:`ServiceError` on non-2xx responses with
 the server's error message attached.
+
+The client is retry-aware where that is safe: **idempotent GETs**
+(``healthz``, ``metrics``, ``jobs``, ``job``) are retried on
+``ConnectionError`` (server restarting, worker-pool recycle pausing the
+accept loop, transient network drop) with capped exponential backoff.
+**POSTs are never retried** — a submission that died mid-flight may have
+been accepted, and blind re-POSTing would double-submit the job (the
+cells themselves would still dedupe, but the job registry would not).
+``wait`` polls with capped exponential backoff instead of a fixed
+interval, so a long job does not hammer the server while a short one is
+still observed promptly.
 """
 
 from __future__ import annotations
@@ -21,11 +32,18 @@ DEFAULT_PORT = 8642
 
 
 class ServiceError(RuntimeError):
-    """A non-2xx response from the service."""
+    """A non-2xx response from the service.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``retry_after`` carries the server's ``Retry-After`` hint (seconds)
+    on HTTP 503 load-shed responses, None otherwise.
+    """
+
+    def __init__(
+        self, status: int, message: str, retry_after: Optional[float] = None
+    ) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
+        self.retry_after = retry_after
 
 
 class ServiceClient:
@@ -35,12 +53,19 @@ class ServiceClient:
         port: int = DEFAULT_PORT,
         *,
         timeout: float = 30.0,
+        retries: int = 3,
+        retry_delay: float = 0.1,
+        sleep=time.sleep,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: connection-error retries for idempotent GETs (POSTs never retry).
+        self.retries = retries
+        self.retry_delay = retry_delay
+        self._sleep = sleep
 
-    def _request(self, method: str, path: str, payload: Optional[dict] = None):
+    def _request_once(self, method: str, path: str, payload: Optional[dict] = None):
         connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             body = None
@@ -56,10 +81,37 @@ class ServiceClient:
                     message = json.loads(raw).get("error", raw.decode(errors="replace"))
                 except (json.JSONDecodeError, AttributeError):
                     message = raw.decode(errors="replace")
-                raise ServiceError(response.status, message)
+                retry_after = None
+                header = response.getheader("Retry-After")
+                if header is not None:
+                    try:
+                        retry_after = float(header)
+                    except ValueError:
+                        pass
+                raise ServiceError(response.status, message, retry_after)
             return response, raw
         finally:
             connection.close()
+
+    def _request(self, method: str, path: str, payload: Optional[dict] = None):
+        """One request with connection-error retries for idempotent GETs.
+
+        ``http.client`` surfaces a dead or restarting server as
+        ``ConnectionError`` subclasses (``ConnectionRefusedError``,
+        ``ConnectionResetError``, ``RemoteDisconnected``); those are the
+        only errors retried, and only for GET — a POST interrupted
+        mid-flight may already have been accepted.
+        """
+        attempts = self.retries + 1 if method == "GET" else 1
+        delay = self.retry_delay
+        for attempt in range(1, attempts + 1):
+            try:
+                return self._request_once(method, path, payload)
+            except ConnectionError:
+                if attempt >= attempts:
+                    raise
+                self._sleep(delay)
+                delay = min(2.0, delay * 2)
 
     def _json(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
         _, raw = self._request(method, path, payload)
@@ -74,11 +126,20 @@ class ServiceClient:
         _, raw = self._request("GET", "/metrics")
         return raw.decode()
 
-    def submit_cells(self, cells: list[dict]) -> dict:
-        return self._json("POST", "/jobs", {"cells": cells})
+    def submit_cells(
+        self, cells: list[dict], *, cell_deadline: Optional[float] = None
+    ) -> dict:
+        payload: dict = {"cells": cells}
+        if cell_deadline is not None:
+            payload["cell_deadline"] = cell_deadline
+        return self._json("POST", "/jobs", payload)
 
-    def submit_specs(self, specs: Iterable[RunSpec]) -> dict:
-        return self.submit_cells([spec_to_dict(spec) for spec in specs])
+    def submit_specs(
+        self, specs: Iterable[RunSpec], *, cell_deadline: Optional[float] = None
+    ) -> dict:
+        return self.submit_cells(
+            [spec_to_dict(spec) for spec in specs], cell_deadline=cell_deadline
+        )
 
     def jobs(self) -> dict:
         return self._json("GET", "/jobs")
@@ -86,9 +147,19 @@ class ServiceClient:
     def job(self, job_id: str) -> dict:
         return self._json("GET", f"/jobs/{job_id}")
 
-    def wait(self, job_id: str, *, timeout: float = 600.0, poll: float = 0.2) -> dict:
-        """Poll ``/jobs/<id>`` until the job settles (done or failed)."""
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout: float = 600.0,
+        poll: float = 0.1,
+        max_poll: float = 2.0,
+    ) -> dict:
+        """Poll ``/jobs/<id>`` until the job settles (done or failed),
+        backing the poll interval off exponentially from ``poll`` up to
+        ``max_poll`` so long jobs do not hammer the server."""
         deadline = time.monotonic() + timeout
+        delay = poll
         while True:
             status = self.job(job_id)
             if status["status"] in ("done", "failed"):
@@ -98,4 +169,5 @@ class ServiceClient:
                     f"job {job_id} still {status['status']} after {timeout}s "
                     f"(counts: {status['counts']})"
                 )
-            time.sleep(poll)
+            self._sleep(min(delay, max(0.0, deadline - time.monotonic())))
+            delay = min(max_poll, delay * 1.6)

@@ -1,38 +1,48 @@
-"""Persistent worker pool with global in-flight dedupe for the service.
+"""Self-healing worker pool with global in-flight dedupe for the service.
 
 Unlike :func:`repro.harness.parallel.run_specs`, which spins a pool up
-and down per sweep, the service keeps one
-:class:`~concurrent.futures.ProcessPoolExecutor` alive for its whole
-lifetime (warm workers, no per-job fork cost) and maintains an *in-flight
-index* from cache key to pool future.  Submissions check, in order:
+and down per sweep, the service keeps one supervised worker pool alive
+for its whole lifetime (warm workers, no per-job fork cost) and
+maintains an *in-flight index* from cache key to the cell's supervised
+task.  Submissions check, in order:
 
 1. the on-disk :class:`~repro.harness.parallel.ResultCache` (a completed
    identical cell, from any past job or process) — ``cache``;
-2. the in-flight index (an identical cell currently simulating for some
-   other job) — ``dedupe``: the new job attaches to the same future;
-3. otherwise the cell is submitted to the pool — ``run``.
+2. the in-flight index (an identical cell currently supervised for some
+   other job) — ``dedupe``: the new job attaches to the same
+   :class:`~repro.service.supervisor.CellTask`, whose outcome future
+   resolves only on the *terminal* outcome, after all retries;
+3. otherwise the cell is submitted to the supervised pool — ``run``.
 
 Together with the content-addressed key (inputs + code hash) this gives
-the service's core guarantee: **each unique cell simulates exactly once**,
-no matter how many overlapping jobs are submitted concurrently.
+the service's core guarantee: **each unique cell simulates at most once
+successfully**, no matter how many overlapping jobs are submitted
+concurrently and no matter how many times workers die under it — a
+retry re-simulates only cells that provably produced no result.
+
+The pool itself is owned by a :class:`~repro.service.supervisor.
+PoolSupervisor`: worker crashes rebuild the pool and re-submit lost
+cells, raising cells retry with exponential backoff, hung cells time out
+against a wall-clock deadline, and shutdown harvests already-completed
+results into the cache instead of dropping them.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import Future, ProcessPoolExecutor
-from typing import Optional
+from typing import Callable, Optional
 
-from repro.harness.parallel import (
-    ResultCache,
-    RunSpec,
-    execute_spec,
-    resolve_jobs,
+from repro.harness.parallel import ResultCache, RunSpec, resolve_jobs
+from repro.service.supervisor import (
+    _USE_DEFAULT,
+    CellResolution,
+    PoolSupervisor,
+    RetryPolicy,
 )
-from repro.stats.collector import RunResult
 
 
 class SweepExecutor:
-    """Owns the worker pool, the result cache, and the in-flight index."""
+    """Owns the supervised worker pool, the result cache, and the
+    in-flight index.  All methods must run on the server's event loop."""
 
     def __init__(
         self,
@@ -40,80 +50,90 @@ class SweepExecutor:
         workers: Optional[int] = None,
         cache: Optional[ResultCache] = None,
         max_workers_cap: Optional[int] = None,
+        policy: Optional[RetryPolicy] = None,
+        default_deadline: Optional[float] = None,
+        tick: float = 0.05,
+        worker_fn=None,
+        on_counter: Optional[Callable[..., None]] = None,
     ) -> None:
         self.workers = resolve_jobs(workers, cap=max_workers_cap)
         self.cache = cache
-        self._pool: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
-            max_workers=self.workers
+        self._on_counter = on_counter
+        supervisor_kwargs = dict(
+            workers=self.workers,
+            policy=policy,
+            tick=tick,
+            default_deadline=default_deadline,
+            on_settle=self._on_settle,
+            on_counter=on_counter,
         )
-        self._inflight: dict[str, Future] = {}
+        if worker_fn is not None:
+            supervisor_kwargs["worker_fn"] = worker_fn
+        self.supervisor = PoolSupervisor(**supervisor_kwargs)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the supervision loop (requires a running event loop)."""
+        self.supervisor.start()
+
+    def shutdown(self) -> None:
+        """Harvest completed work (persisting it to the cache), settle the
+        rest with ``shutdown`` errors, and kill the pool."""
+        self.supervisor.shutdown()
+
+    def harvest(self) -> int:
+        """Settle (and cache) cells whose workers already finished."""
+        return self.supervisor.harvest()
 
     # -- submission ----------------------------------------------------------
 
-    def lookup(self, spec: RunSpec, key: str):
+    def lookup(self, spec: RunSpec, key: str, *, deadline=_USE_DEFAULT):
         """Resolve one cell; returns ``(source, payload)`` where source is
         ``"cache"`` (payload: the cached :class:`RunResult`), ``"dedupe"``
-        (payload: the sibling's in-flight future) or ``"run"`` (payload: a
-        freshly submitted future)."""
-        if self._pool is None:
+        (payload: the sibling's in-flight :class:`CellTask`) or ``"run"``
+        (payload: a freshly supervised :class:`CellTask`).
+
+        ``deadline`` is the cell's wall-clock execution budget in seconds
+        (None: unlimited; default: the executor-wide default).  A dedupe
+        hit keeps the original submission's deadline."""
+        if self.supervisor._closed:
             raise RuntimeError("executor is shut down")
         if self.cache is not None:
             cached = self.cache.load(spec)
             if cached is not None:
                 return "cache", cached
-        future = self._inflight.get(key)
-        if future is not None:
-            return "dedupe", future
-        future = self._pool.submit(execute_spec, spec)
-        self._inflight[key] = future
-        return "run", future
+        task = self.supervisor.get(key)
+        if task is not None:
+            return "dedupe", task
+        return "run", self.supervisor.submit(spec, key, deadline=deadline)
 
-    def complete(self, key: str, spec: RunSpec, result: Optional[RunResult]) -> None:
-        """Owner-side completion: retire the in-flight entry and persist a
-        successful result so later submissions become cache hits.  Must run
-        before any later submission is processed on the same event loop
-        (the server's cell watcher guarantees this ordering)."""
-        self._inflight.pop(key, None)
-        if result is not None and self.cache is not None:
-            self.cache.store(spec, result)
+    def _on_settle(self, resolution: CellResolution) -> None:
+        """Supervisor settle hook, invoked *before* the outcome future
+        resolves and before the in-flight key retires: persist a success
+        so any later submission sees the cache entry, never a gap."""
+        if resolution.ok:
+            if self.cache is not None:
+                self.cache.store(resolution.spec, resolution.result)
+            if self._on_counter is not None:
+                self._on_counter("cells_simulated", 1)
 
     # -- introspection -------------------------------------------------------
 
     def queue_depth(self) -> int:
-        """Unique cells submitted to the pool and not yet completed."""
-        return len(self._inflight)
+        """Unique cells supervised and not yet settled."""
+        return self.supervisor.pending_count()
 
     def running_count(self) -> int:
-        return sum(1 for future in self._inflight.values() if future.running())
+        return self.supervisor.running_count()
+
+    def worker_pids(self) -> list[int]:
+        return self.supervisor.worker_pids()
 
     def worker_health(self) -> dict:
-        """Best-effort worker liveness: configured size, live processes,
-        and whether the pool has broken (a worker died hard)."""
-        alive = 0
-        broken = False
-        pool = self._pool
-        if pool is None:
-            return {"configured": self.workers, "alive": 0, "broken": False, "shutdown": True}
-        broken = bool(getattr(pool, "_broken", False))
-        processes = getattr(pool, "_processes", None) or {}
-        try:
-            alive = sum(1 for proc in processes.values() if proc.is_alive())
-        except Exception:  # pragma: no cover - interpreter-internal drift
-            alive = len(processes)
-        return {
-            "configured": self.workers,
-            "alive": alive,
-            "broken": broken,
-            "shutdown": False,
-        }
+        return self.supervisor.worker_health()
 
     @property
     def healthy(self) -> bool:
         health = self.worker_health()
         return not health["broken"] and not health["shutdown"]
-
-    def shutdown(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
-        self._inflight.clear()

@@ -11,16 +11,17 @@ from __future__ import annotations
 
 import itertools
 import time
-from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.harness.parallel import RunSpec
 from repro.service.specs import describe_workload
+from repro.service.supervisor import CellTask
 
-#: Cell lifecycle: ``queued`` (submitted to the pool, not yet picked up)
-#: -> ``running`` (a worker process is simulating it) -> ``done`` or
-#: ``failed``.  Cache and dedupe hits are born ``done``/attached mid-state.
+#: Cell lifecycle: ``queued`` (submitted to the pool, not yet picked up,
+#: or backing off between retry attempts) -> ``running`` (a worker
+#: process is simulating it) -> ``done`` or ``failed``.  Cache and
+#: dedupe hits are born ``done``/attached mid-state.
 CELL_STATES = ("queued", "running", "done", "failed")
 
 
@@ -38,15 +39,19 @@ class JobCell:
     status: str = "queued"
     summary: Optional[dict] = None
     error: Optional[dict] = None
-    #: the shared pool future while in flight (None once settled or when
-    #: the cell was a cache hit).
-    future: Optional[Future] = None
+    #: execution attempts the supervised cell took (0 for cache hits).
+    attempts: int = 0
+    #: the shared supervised task while in flight (None once settled or
+    #: when the cell was a cache hit).
+    task: Optional[CellTask] = None
 
     @property
     def effective_status(self) -> str:
-        """``queued`` refines to ``running`` once a worker picks it up."""
-        if self.status == "queued" and self.future is not None and self.future.running():
-            return "running"
+        """``queued`` refines to ``running`` once a worker picks it up;
+        a cell backing off between retries reads as ``queued``."""
+        if self.status == "queued" and self.task is not None:
+            if self.task.phase == "running":
+                return "running"
         return self.status
 
     def as_dict(self) -> dict:
@@ -61,6 +66,7 @@ class JobCell:
             "status": self.effective_status,
             "summary": self.summary,
             "error": self.error,
+            "attempts": self.attempts if self.task is None else self.task.attempts,
         }
 
 

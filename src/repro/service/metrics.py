@@ -21,6 +21,11 @@ COUNTERS = {
     "dedupe_hits": "Cells attached to an identical in-flight simulation",
     "requests": "HTTP requests handled",
     "bad_requests": "HTTP requests rejected (4xx)",
+    "rejected": "Job submissions rejected by admission control (HTTP 503)",
+    "cells_retried": "Cell attempts retried after a transient failure",
+    "workers_recycled": "Worker-pool rebuilds (crash recovery or deadline enforcement)",
+    "cells_crashed": "Cells settled as worker_crash after repeated mid-execution worker deaths",
+    "cells_deadline_exceeded": "Cells settled as failed after exceeding their execution deadline",
 }
 
 

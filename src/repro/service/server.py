@@ -3,12 +3,22 @@
 One event loop owns all bookkeeping (job registry, in-flight index,
 metrics); worker processes only ever see picklable
 :class:`~repro.harness.parallel.RunSpec` cells.  Each submitted cell gets
-a *watcher* task that awaits the (possibly shared) pool future and
-settles the cell — the owning watcher also retires the in-flight entry
-and persists the result to the cache, so a cell's lifecycle is:
+a *watcher* task that awaits the (possibly shared) supervised outcome
+and settles the cell — the supervisor persists successful results to the
+cache and retires the in-flight entry *before* the outcome resolves, so
+a cell's lifecycle is:
 
-    POST /jobs -> lookup (cache | dedupe | run) -> watcher await
-        -> settle cell (done/failed) -> [owner] cache.store + retire key
+    POST /jobs -> admission check -> lookup (cache | dedupe | run)
+        -> supervised attempts (retry/backoff, crash recovery, deadline)
+        -> [supervisor] cache.store + retire key -> watcher settles cell
+
+Failure handling is the supervisor's job (:mod:`repro.service.
+supervisor`); the server adds **bounded admission** (jobs beyond
+``max_queued`` in-flight cells are rejected with HTTP 503 and a
+``Retry-After`` header — load shedding is visible as
+``repro_rejected_total``) and **graceful drain** (SIGTERM/SIGINT stops
+accepting jobs, lets in-flight cells settle up to a drain budget while
+``/healthz`` reports ``draining``, persists their results, then exits).
 
 The HTTP layer is deliberately minimal: request line + headers +
 ``Content-Length`` body, ``Connection: close`` responses, JSON bodies
@@ -20,10 +30,10 @@ from __future__ import annotations
 
 import asyncio
 import json
+import signal
 from typing import Optional
 
 from repro.harness.parallel import (
-    CellError,
     ResultCache,
     RunSpec,
     cache_key_for,
@@ -32,20 +42,34 @@ from repro.service.executor import SweepExecutor
 from repro.service.jobs import Job, JobCell, JobRegistry
 from repro.service.metrics import ServiceMetrics
 from repro.service.specs import spec_from_dict
+from repro.service.supervisor import _USE_DEFAULT, RetryPolicy
 
 #: Largest accepted request body; a 4096-cell job with full configs is
 #: well under this.
 MAX_BODY_BYTES = 32 * 1024 * 1024
 #: Largest accepted request line / header line.
 MAX_LINE_BYTES = 64 * 1024
+#: Default bound on in-flight cells; submissions past it get HTTP 503.
+DEFAULT_MAX_QUEUED = 4096
+#: Default drain budget (seconds) before a signalled server gives up on
+#: in-flight cells and exits.
+DEFAULT_DRAIN_TIMEOUT = 30.0
 
 
 class BadRequest(Exception):
     """A malformed request; rendered as an HTTP 400 with the message."""
 
 
+class ServiceUnavailable(Exception):
+    """Load shed or drain; rendered as HTTP 503 with ``Retry-After``."""
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class SweepService:
-    """The server: routing, job submission, and cell watchers."""
+    """The server: routing, admission, job submission, and cell watchers."""
 
     def __init__(
         self,
@@ -55,22 +79,37 @@ class SweepService:
         workers: Optional[int] = None,
         cache: Optional[ResultCache] = None,
         max_workers_cap: Optional[int] = None,
+        max_queued: Optional[int] = DEFAULT_MAX_QUEUED,
+        cell_deadline: Optional[float] = None,
+        policy: Optional[RetryPolicy] = None,
+        tick: float = 0.05,
+        worker_fn=None,
     ) -> None:
         self.host = host
         self.port = port
+        self.max_queued = max_queued
+        self.metrics = ServiceMetrics()
         self.executor = SweepExecutor(
-            workers=workers, cache=cache, max_workers_cap=max_workers_cap
+            workers=workers,
+            cache=cache,
+            max_workers_cap=max_workers_cap,
+            policy=policy,
+            default_deadline=cell_deadline,
+            tick=tick,
+            worker_fn=worker_fn,
+            on_counter=self.metrics.bump,
         )
         self.registry = JobRegistry()
-        self.metrics = ServiceMetrics()
         self._server: Optional[asyncio.base_events.Server] = None
         self._watchers: set[asyncio.Task] = set()
+        self._draining = False
 
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self) -> tuple[str, int]:
-        """Bind and start serving; returns the bound (host, port) — with
-        ``port=0`` the kernel picks an ephemeral port."""
+        """Bind, start serving, and start the pool supervisor; returns the
+        bound (host, port) — with ``port=0`` the kernel picks a port."""
+        self.executor.start()
         self._server = await asyncio.start_server(
             self._handle_client, self.host, self.port, limit=MAX_LINE_BYTES
         )
@@ -83,16 +122,52 @@ class SweepService:
         async with self._server:
             await self._server.serve_forever()
 
+    def begin_drain(self) -> None:
+        """Stop accepting jobs; status/health/metrics stay served."""
+        self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def settled(self) -> bool:
+        """True when no cell is in flight and every watcher has run."""
+        return self.executor.queue_depth() == 0 and not self._watchers
+
+    async def drain(self, budget: float = DEFAULT_DRAIN_TIMEOUT) -> bool:
+        """Graceful shutdown: stop admissions, let in-flight cells settle
+        (their results are persisted to the cache by the supervisor as
+        usual) for up to ``budget`` seconds, then stop.  Returns True if
+        everything settled inside the budget."""
+        self.begin_drain()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + budget
+        while not self.settled() and loop.time() < deadline:
+            await asyncio.sleep(min(0.05, self.executor.supervisor.tick))
+        finished = self.settled()
+        await self.stop()
+        return finished
+
     async def stop(self) -> None:
+        """Shut down without dropping completed work: results already
+        finished in workers are harvested into the cache *before* the
+        pool goes down, and their watchers get one chance to settle the
+        owning job cells."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        # Settle cells whose workers already produced a result (persisting
+        # them via the supervisor's settle hook), then everything else as
+        # structured ``shutdown`` errors — never as silently-dropped work.
+        self.executor.shutdown()
+        if self._watchers:
+            # Watchers wake on the outcome futures shutdown just resolved.
+            await asyncio.wait(list(self._watchers), timeout=5.0)
         for task in list(self._watchers):
             task.cancel()
         if self._watchers:
             await asyncio.gather(*self._watchers, return_exceptions=True)
-        self.executor.shutdown()
 
     # -- HTTP plumbing -------------------------------------------------------
 
@@ -100,6 +175,7 @@ class SweepService:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
+            headers: dict[str, str] = {}
             try:
                 request = await self._read_request(reader)
                 if request is None:
@@ -115,9 +191,19 @@ class SweepService:
                     "application/json",
                     json.dumps({"error": str(exc)}).encode(),
                 )
+            except ServiceUnavailable as exc:
+                self.metrics.bump("rejected")
+                headers["Retry-After"] = f"{max(1, round(exc.retry_after))}"
+                status, content_type, payload = (
+                    503,
+                    "application/json",
+                    json.dumps(
+                        {"error": str(exc), "retry_after": exc.retry_after}
+                    ).encode(),
+                )
             except asyncio.IncompleteReadError:
                 return
-            await self._respond(writer, status, content_type, payload)
+            await self._respond(writer, status, content_type, payload, headers)
         except (ConnectionError, asyncio.LimitOverrunError):
             pass  # client went away or sent garbage; nothing to salvage
         finally:
@@ -154,16 +240,24 @@ class SweepService:
         return method.upper(), target.split("?", 1)[0], body
 
     async def _respond(
-        self, writer: asyncio.StreamWriter, status: int, content_type: str, body: bytes
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        content_type: str,
+        body: bytes,
+        extra_headers: Optional[dict[str, str]] = None,
     ) -> None:
         reason = {200: "OK", 202: "Accepted", 400: "Bad Request",
-                  404: "Not Found", 405: "Method Not Allowed"}.get(status, "OK")
+                  404: "Not Found", 405: "Method Not Allowed",
+                  503: "Service Unavailable"}.get(status, "OK")
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
-            f"Connection: close\r\n\r\n"
         )
+        for name, value in (extra_headers or {}).items():
+            head += f"{name}: {value}\r\n"
+        head += "Connection: close\r\n\r\n"
         writer.write(head.encode("latin-1") + body)
         await writer.drain()
 
@@ -203,9 +297,13 @@ class SweepService:
 
     def _healthz(self) -> dict:
         workers = self.executor.worker_health()
-        status = "ok" if self.executor.healthy else "degraded"
+        if self._draining:
+            status = "draining"
+        else:
+            status = "ok" if self.executor.healthy else "degraded"
         payload = {
             "status": status,
+            "draining": self._draining,
             "jobs": len(self.registry),
             "workers": workers,
         }
@@ -233,55 +331,80 @@ class SweepService:
             specs = [spec_from_dict(cell) for cell in payload["cells"]]
         except ValueError as exc:
             raise BadRequest(str(exc)) from None
+        deadline = _USE_DEFAULT
+        if "cell_deadline" in payload:
+            deadline = payload["cell_deadline"]
+            if deadline is not None:
+                try:
+                    deadline = float(deadline)
+                except (TypeError, ValueError):
+                    raise BadRequest(
+                        "cell_deadline must be a number of seconds or null"
+                    ) from None
+                if deadline <= 0:
+                    raise BadRequest("cell_deadline must be positive")
+
+        if self._draining:
+            raise ServiceUnavailable(
+                "server is draining and no longer accepts jobs", retry_after=30.0
+            )
+        # Bounded admission: shed load instead of queueing without limit.
+        # The check is conservative — cells that would resolve via cache
+        # or dedupe count against the bound until they are looked up.
+        if self.max_queued is not None:
+            depth = self.executor.queue_depth()
+            if depth + len(specs) > self.max_queued:
+                raise ServiceUnavailable(
+                    f"queue full: {depth} cells in flight + {len(specs)} "
+                    f"submitted exceeds --max-queued {self.max_queued}",
+                    retry_after=1.0,
+                )
 
         job = self.registry.create()
         self.metrics.bump("jobs_submitted")
         self.metrics.bump("cells_submitted", len(specs))
         for index, spec in enumerate(specs):
-            job.cells.append(self._submit_cell(job, index, spec))
+            job.cells.append(self._submit_cell(job, index, spec, deadline))
         return job
 
-    def _submit_cell(self, job: Job, index: int, spec: RunSpec) -> JobCell:
+    def _submit_cell(
+        self, job: Job, index: int, spec: RunSpec, deadline=_USE_DEFAULT
+    ) -> JobCell:
         key = cache_key_for(spec)
-        source, resolved = self.executor.lookup(spec, key)
+        source, resolved = self.executor.lookup(spec, key, deadline=deadline)
         cell = JobCell(index=index, spec=spec, key=key, source=source)
         if source == "cache":
             cell.status = "done"
             cell.summary = resolved.summary()
             self.metrics.bump("cache_hits")
         else:
-            cell.future = resolved
+            cell.task = resolved
             if source == "dedupe":
                 self.metrics.bump("dedupe_hits")
-            watcher = asyncio.create_task(self._watch_cell(cell, owner=source == "run"))
+            watcher = asyncio.create_task(self._watch_cell(cell))
             self._watchers.add(watcher)
             watcher.add_done_callback(self._watchers.discard)
         return cell
 
-    async def _watch_cell(self, cell: JobCell, *, owner: bool) -> None:
-        """Await one cell's pool future and settle it; failure isolation
-        happens here — an exception settles only this cell."""
+    async def _watch_cell(self, cell: JobCell) -> None:
+        """Await one cell's *terminal* supervised outcome and settle it.
+        Retries, crash re-submissions, and deadlines all happen upstream
+        in the supervisor; by the time the outcome future resolves the
+        result is already in the cache (on success) and the in-flight key
+        retired — a follower never observes a pre-retry failure."""
         try:
-            result = await asyncio.wrap_future(cell.future)
+            resolution = await asyncio.shield(cell.task.outcome)
         except asyncio.CancelledError:
             raise
-        except Exception as exc:
-            if owner:
-                self.executor.complete(cell.key, cell.spec, None)
-            cell.status = "failed"
-            cell.error = CellError.from_exception(exc).as_dict()
-            cell.future = None
-            self.metrics.bump("cells_failed")
-        else:
-            if owner:
-                # Store before marking done: a submission processed after
-                # this point sees the cache entry, never a retired key.
-                self.executor.complete(cell.key, cell.spec, result)
+        cell.attempts = resolution.attempts
+        cell.task = None
+        if resolution.ok:
             cell.status = "done"
-            cell.summary = result.summary()
-            cell.future = None
-            if owner:
-                self.metrics.bump("cells_simulated")
+            cell.summary = resolution.result.summary()
+        else:
+            cell.status = "failed"
+            cell.error = resolution.error
+            self.metrics.bump("cells_failed")
 
 
 def run_server(
@@ -290,12 +413,25 @@ def run_server(
     port: int = 8642,
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    max_queued: Optional[int] = DEFAULT_MAX_QUEUED,
+    cell_deadline: Optional[float] = None,
+    max_retries: int = RetryPolicy.max_attempts,
+    drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
     ready_message: bool = True,
 ) -> None:
-    """Blocking entry point used by ``denovosync-bench serve``."""
+    """Blocking entry point used by ``denovosync-bench serve``.
+
+    SIGTERM/SIGINT triggers a graceful drain: admissions stop (HTTP 503),
+    in-flight cells get up to ``drain_timeout`` seconds to settle (their
+    results are persisted to the cache), then the server exits.  A second
+    signal skips the rest of the drain budget."""
 
     async def main() -> None:
-        service = SweepService(host=host, port=port, workers=workers, cache=cache)
+        service = SweepService(
+            host=host, port=port, workers=workers, cache=cache,
+            max_queued=max_queued, cell_deadline=cell_deadline,
+            policy=RetryPolicy(max_attempts=max(1, max_retries)),
+        )
         bound_host, bound_port = await service.start()
         if ready_message:
             print(
@@ -304,14 +440,58 @@ def run_server(
                 f"{'off' if cache is None else cache.root})",
                 flush=True,
             )
+
+        loop = asyncio.get_running_loop()
+        drain_requested = asyncio.Event()
+        force_stop = asyncio.Event()
+
+        def on_signal() -> None:
+            if drain_requested.is_set():
+                force_stop.set()
+            else:
+                drain_requested.set()
+
+        signals_installed = []
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, on_signal)
+                signals_installed.append(sig)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-POSIX loop; KeyboardInterrupt path still works
+
+        serve_task = asyncio.create_task(service.serve_forever())
+        drain_task = asyncio.create_task(drain_requested.wait())
         try:
-            await service.serve_forever()
+            await asyncio.wait(
+                {serve_task, drain_task}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if drain_requested.is_set():
+                service.begin_drain()
+                if ready_message:
+                    print(
+                        f"draining: {service.executor.queue_depth()} cells in "
+                        f"flight, budget {drain_timeout:g}s (signal again to "
+                        f"skip)",
+                        flush=True,
+                    )
+                waiter = asyncio.create_task(force_stop.wait())
+                deadline = loop.time() + drain_timeout
+                while not service.settled() and not force_stop.is_set():
+                    if loop.time() >= deadline:
+                        break
+                    await asyncio.wait({waiter}, timeout=0.05)
+                waiter.cancel()
         except asyncio.CancelledError:
             pass
         finally:
+            drain_task.cancel()
+            serve_task.cancel()
+            await asyncio.gather(serve_task, drain_task, return_exceptions=True)
+            for sig in signals_installed:
+                loop.remove_signal_handler(sig)
             await service.stop()
 
     try:
         asyncio.run(main())
-    except KeyboardInterrupt:
+    except KeyboardInterrupt:  # pragma: no cover - non-POSIX fallback
         pass

@@ -1,0 +1,169 @@
+"""Client-side resilience: GET retries on connection errors, POSTs never
+retried, capped exponential poll backoff, and Retry-After parsing.
+
+The fake server is a real listening socket on a thread that deliberately
+drops the first N connections (accept + immediate close — the client
+sees ``ConnectionError`` subclasses exactly as it would from a server
+mid-restart), then serves one canned HTTP response per connection.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceError
+
+
+def http_response(status=200, body=None, headers=()):
+    payload = json.dumps(body if body is not None else {"status": "ok"}).encode()
+    reason = {200: "OK", 503: "Service Unavailable"}.get(status, "OK")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+    )
+    for name, value in headers:
+        head += f"{name}: {value}\r\n"
+    head += "Connection: close\r\n\r\n"
+    return head.encode("latin-1") + payload
+
+
+class FlakyServer(threading.Thread):
+    """Drops the first ``dead_connections`` connections, then answers
+    every later connection with the canned ``response``."""
+
+    def __init__(self, dead_connections=0, response=None):
+        super().__init__(daemon=True)
+        self.dead_connections = dead_connections
+        self.response = response if response is not None else http_response()
+        self.accepted = 0
+        self._stopping = threading.Event()
+        self.sock = socket.create_server(("127.0.0.1", 0))
+        self.sock.settimeout(0.1)
+        self.port = self.sock.getsockname()[1]
+        self.start()
+
+    def run(self):
+        while not self._stopping.is_set():
+            try:
+                conn, _ = self.sock.accept()
+            except socket.timeout:
+                continue
+            self.accepted += 1
+            if self.accepted <= self.dead_connections:
+                # Dead server impression: RST/EOF before any response.
+                conn.close()
+                continue
+            try:
+                conn.settimeout(1.0)
+                conn.recv(65536)
+                conn.sendall(self.response)
+            except OSError:
+                pass
+            finally:
+                conn.close()
+
+    def close(self):
+        self._stopping.set()
+        self.join(5)
+        self.sock.close()
+
+
+@pytest.fixture
+def sleeps():
+    """A sleep stub recording requested delays instead of sleeping."""
+    recorded = []
+    return recorded
+
+
+def make_client(port, sleeps, **kwargs):
+    kwargs.setdefault("timeout", 5.0)
+    kwargs.setdefault("retry_delay", 0.1)
+    return ServiceClient("127.0.0.1", port, sleep=sleeps.append, **kwargs)
+
+
+class TestConnectionRetries:
+    def test_get_retries_past_dropped_connections(self, sleeps):
+        server = FlakyServer(dead_connections=2)
+        try:
+            client = make_client(server.port, sleeps, retries=3)
+            assert client.healthz() == {"status": "ok"}
+            assert server.accepted == 3
+            # Backoff doubled between the two retries.
+            assert sleeps == [0.1, 0.2]
+        finally:
+            server.close()
+
+    def test_get_retry_backoff_is_capped(self, sleeps):
+        server = FlakyServer(dead_connections=6)
+        try:
+            client = make_client(server.port, sleeps, retries=6, retry_delay=0.5)
+            client.healthz()
+            assert sleeps == [0.5, 1.0, 2.0, 2.0, 2.0, 2.0]
+        finally:
+            server.close()
+
+    def test_get_raises_once_retries_exhausted(self, sleeps):
+        server = FlakyServer(dead_connections=100)
+        try:
+            client = make_client(server.port, sleeps, retries=2)
+            with pytest.raises(ConnectionError):
+                client.healthz()
+            assert server.accepted == 3  # initial try + 2 retries
+        finally:
+            server.close()
+
+    def test_post_is_never_retried(self, sleeps):
+        server = FlakyServer(dead_connections=100)
+        try:
+            client = make_client(server.port, sleeps, retries=5)
+            with pytest.raises(ConnectionError):
+                client.submit_cells([{"anything": True}])
+            # One connection, no retry sleeps: the submission may already
+            # have been accepted server-side, so re-POSTing is not safe.
+            assert server.accepted == 1
+            assert sleeps == []
+        finally:
+            server.close()
+
+    def test_http_errors_are_not_retried(self, sleeps):
+        server = FlakyServer(
+            response=http_response(503, {"error": "draining"},
+                                   headers=[("Retry-After", "7")])
+        )
+        try:
+            client = make_client(server.port, sleeps, retries=5)
+            with pytest.raises(ServiceError) as excinfo:
+                client.healthz()
+            assert excinfo.value.status == 503
+            assert excinfo.value.retry_after == 7.0
+            assert server.accepted == 1  # an HTTP error is an answer
+            assert sleeps == []
+        finally:
+            server.close()
+
+
+class TestWaitPolling:
+    def test_poll_backoff_grows_and_caps(self, sleeps):
+        client = make_client(0, sleeps)
+        statuses = iter(["running"] * 6 + ["done"])
+        client.job = lambda job_id: {"status": next(statuses), "counts": {}}
+
+        result = client.wait("j0001", timeout=600, poll=0.1, max_poll=0.3)
+        assert result["status"] == "done"
+        assert len(sleeps) == 6
+        assert sleeps[0] == pytest.approx(0.1)
+        assert sleeps[1] == pytest.approx(0.16)
+        assert sleeps[2] == pytest.approx(0.256)
+        assert sleeps[3:] == [pytest.approx(0.3)] * 3  # capped
+        assert sleeps == sorted(sleeps)
+
+    def test_wait_times_out_with_informative_error(self, sleeps):
+        client = make_client(0, sleeps)
+        client.job = lambda job_id: {"status": "running", "counts": {"queued": 1}}
+        with pytest.raises(TimeoutError, match="still running"):
+            client.wait("j0001", timeout=0.0, poll=0.01)
