@@ -92,6 +92,13 @@ class ProtocolTuning:
       invalidation round trip.
     * ``self_invalidate_latency``: cycles for DeNovo's flash
       self-invalidation instruction.
+    * ``neat_flush_line_cost``: per-dirty-line cycles of Neat's
+      self-downgrade flush at a release boundary.
+    * ``sync_unit_occupancy``: cycles one SynCron per-bank sync unit is
+      busy per synchronization operation (its serialization grain).
+    * ``sync_unit_entries``: bounded capacity of a SynCron sync unit's
+      variable buffer; inserting into a full buffer spills the LRU
+      entry to memory (the overflow fallback).
     """
 
     bank_occupancy: int = 4
@@ -100,6 +107,9 @@ class ProtocolTuning:
     store_aggregation_window: int = 200
     inv_processing: int = 4
     self_invalidate_latency: int = 1
+    neat_flush_line_cost: int = 2
+    sync_unit_occupancy: int = 4
+    sync_unit_entries: int = 64
 
 
 #: Valid settings for :attr:`SystemConfig.invariant_level`.

@@ -23,10 +23,12 @@ from typing import Callable, Optional, Sequence
 from repro.config import SystemConfig, config_for_cores
 from repro.harness.runner import run_workload
 from repro.noc.faults import FaultPlan
+from repro.protocols.registry import chaos_comparison_set
 from repro.verify.checker import check_protocol_state
 
-#: The paper's three main protocols (the chaos acceptance set).
-CHAOS_PROTOCOLS = ("MESI", "DeNovoSync0", "DeNovoSync")
+#: The chaos acceptance set: every default-comparison protocol that
+#: advertises fault-injection hooks and runtime invariant checking.
+CHAOS_PROTOCOLS = chaos_comparison_set()
 
 #: How many differing words to name before truncating a mismatch report.
 MAX_REPORTED_DIFFS = 8

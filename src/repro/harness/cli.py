@@ -30,6 +30,12 @@ from repro.harness.export import write_figure_csv, write_figure_json
 from repro.harness.parallel import default_cache
 from repro.harness.plots import render_figure
 from repro.harness.report import print_figure
+from repro.protocols.registry import (
+    chaos_comparison_set,
+    default_comparison_set,
+    protocol_names,
+    sanitize_comparison_set,
+)
 
 FIGURE_FAMILIES = {
     "fig3": "tatas",
@@ -137,10 +143,14 @@ def _fault_plan_from_args(args):
 
 def _run_chaos(args) -> int:
     """The ``chaos`` target: seeded fault-injection differential sweep."""
-    from repro.harness.chaos import CHAOS_PROTOCOLS, run_chaos_sweep
+    from repro.harness.chaos import run_chaos_sweep
+    from repro.protocols.registry import chaos_comparison_set
 
+    protocols = (
+        tuple(args.protocols) if args.protocols else chaos_comparison_set()
+    )
     cells = run_chaos_sweep(
-        protocols=CHAOS_PROTOCOLS,
+        protocols=protocols,
         seeds=tuple(args.seeds),
         num_cores=args.cores[0],
         scale=args.scale,
@@ -183,6 +193,11 @@ def _run_mc(args) -> int:
         raise SystemExit(
             f"unknown litmus test(s) {unknown}; available: {sorted(CORPUS)}"
         )
+    from repro.protocols.registry import default_comparison_set
+
+    protocols = (
+        tuple(args.protocols) if args.protocols else default_comparison_set()
+    )
     cells = [
         McCell(
             test_name=name,
@@ -192,7 +207,7 @@ def _run_mc(args) -> int:
             out_dir=args.mc_out,
         )
         for name in names
-        for protocol in args.protocols
+        for protocol in protocols
     ]
     outcomes = run_tasks(run_cell, cells, jobs=args.jobs)
     violations = 0
@@ -202,7 +217,7 @@ def _run_mc(args) -> int:
     print(
         f"mc: {len(outcomes) - violations}/{len(outcomes)} cells clean "
         f"(preemption bound {args.bound}, "
-        f"{len(names)} tests x {len(args.protocols)} protocols)"
+        f"{len(names)} tests x {len(protocols)} protocols)"
     )
     return 1 if violations else 0
 
@@ -214,9 +229,13 @@ def _run_sanitize(args) -> int:
     from repro.harness.parallel import run_tasks
     from repro.sanitize.cells import SanitizeCell, run_cell
     from repro.sanitize.findings import Report
+    from repro.protocols.registry import sanitize_comparison_set
     from repro.sanitize.lint import default_lint_targets, lint_paths
     from repro.workloads.registry import all_kernel_ids
 
+    protocols = (
+        tuple(args.protocols) if args.protocols else sanitize_comparison_set()
+    )
     report = Report()
 
     lint_findings, linted = lint_paths(default_lint_targets())
@@ -233,7 +252,7 @@ def _run_sanitize(args) -> int:
             seed=args.seed,
         )
         for family, kernel in all_kernel_ids()
-        for protocol in args.protocols
+        for protocol in protocols
     ]
     outcomes = run_tasks(run_cell, cells, jobs=args.jobs)
     dirty = 0
@@ -259,7 +278,7 @@ def _run_sanitize(args) -> int:
     )
     print(
         f"sanitize: {len(outcomes) - dirty}/{len(outcomes)} dynamic cells clean "
-        f"({len(all_kernel_ids())} kernels x {len(args.protocols)} protocols, "
+        f"({len(all_kernel_ids())} kernels x {len(protocols)} protocols, "
         f"{args.cores[0]} cores, scale {args.scale}); lint: {lint_errors} "
         f"error(s), {sum(1 for f in lint_findings if f.severity == 'warning')} "
         f"warning(s) over {len(linted)} files"
@@ -321,12 +340,17 @@ def _submit_cells(args) -> list:
     from repro.workloads.base import KernelSpec
     from repro.workloads.registry import kernel_names
 
+    from repro.protocols.registry import default_comparison_set
+
     names = args.names or kernel_names(args.sweep_family)
+    protocols = (
+        tuple(args.protocols) if args.protocols else default_comparison_set()
+    )
     specs = []
     for cores in args.cores:
         config = config_for_cores(cores)
         for name in names:
-            for protocol in args.protocols:
+            for protocol in protocols:
                 specs.append(
                     RunSpec(
                         kernel_cell(
@@ -534,6 +558,65 @@ def _run_single(args) -> int:
     return 0
 
 
+def _run_protocols(args) -> int:
+    """The ``protocols`` target: print the protocol plugin registry.
+
+    With ``--check-doc PATH...`` also verify each file still embeds the
+    registry-generated markdown table verbatim — CI runs this so the
+    README/architecture protocol tables can never drift from the code.
+    ``--format json`` emits the capability descriptors as JSON and
+    ``--format csv``/``plot`` fall back to the markdown table (the form
+    meant for embedding); the default is the aligned text table.
+    """
+    import json as _json
+
+    from repro.protocols.registry import (
+        iter_protocols,
+        registry_markdown_table,
+        registry_table,
+    )
+
+    if args.format == "json":
+        infos = [
+            {
+                key: getattr(info, key)
+                for key in (
+                    "name", "label", "paper", "summary", "tracking",
+                    "invalidation", "backoff", "requires_annotations",
+                    "fault_hooks", "runtime_invariants",
+                    "default_comparison", "app_comparison",
+                )
+            }
+            for info in iter_protocols()
+        ]
+        print(_json.dumps(infos, indent=2))
+    elif args.format in ("csv", "plot"):
+        print(registry_markdown_table())
+    else:
+        print(registry_table())
+
+    failures = 0
+    expected = registry_markdown_table()
+    for path in args.check_doc or []:
+        try:
+            with open(path) as fh:
+                text = fh.read()
+        except OSError as exc:
+            print(f"{path}: unreadable ({exc})")
+            failures += 1
+            continue
+        if expected in text:
+            print(f"{path}: protocol table in sync with the registry")
+        else:
+            print(
+                f"{path}: protocol table is OUT OF SYNC with the registry "
+                f"— re-embed the output of "
+                f"'denovosync-bench protocols --format csv'"
+            )
+            failures += 1
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="denovosync-bench",
@@ -543,7 +626,7 @@ def main(argv: list[str] | None = None) -> int:
         "target",
         choices=ALL_TARGETS
         + ["all", "run", "profile", "chaos", "mc", "sanitize",
-           "serve", "submit", "status", "chaos-service"],
+           "serve", "submit", "status", "chaos-service", "protocols"],
     )
     parser.add_argument(
         "--workload", default=None,
@@ -552,8 +635,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--protocol", default="DeNovoSync",
-        help="for 'run': MESI, MESI-RFO, DeNovoSync0, DeNovoSync, "
-        "DeNovoSyncSig",
+        choices=list(protocol_names()), metavar="NAME",
+        help="for 'run': " + ", ".join(protocol_names())
+        + " (default: DeNovoSync)",
     )
     parser.add_argument(
         "--trace", default=None,
@@ -623,10 +707,20 @@ def main(argv: list[str] | None = None) -> int:
         help="for 'mc': litmus tests to explore (default: the whole corpus)",
     )
     parser.add_argument(
-        "--protocols", nargs="+",
-        default=["MESI", "DeNovoSync0", "DeNovoSync"],
-        help="for 'mc'/'sanitize': protocols to explore (default: MESI "
-        "DeNovoSync0 DeNovoSync)",
+        "--protocols", nargs="+", default=None,
+        choices=list(protocol_names()), metavar="NAME",
+        help="for 'mc'/'sanitize'/'chaos'/'submit': protocols to sweep, "
+        "out of " + ", ".join(protocol_names())
+        + " (default: the registry's capability-filtered set per "
+        "target: mc/submit "
+        + " ".join(default_comparison_set())
+        + "; sanitize " + " ".join(sanitize_comparison_set())
+        + "; chaos " + " ".join(chaos_comparison_set()) + ")",
+    )
+    parser.add_argument(
+        "--check-doc", nargs="+", default=None, metavar="PATH",
+        help="for 'protocols': verify each file embeds the registry's "
+        "generated markdown table verbatim (exit 1 on drift)",
     )
     parser.add_argument(
         "--max-schedules", type=int, default=20_000,
@@ -775,6 +869,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_status(args)
     if args.target == "chaos-service":
         return _run_chaos_service(args)
+    if args.target == "protocols":
+        return _run_protocols(args)
 
     targets = ALL_TARGETS if args.target == "all" else [args.target]
     for target in targets:

@@ -31,13 +31,16 @@ from repro.harness.parallel import (
     run_specs,
     unpadded,
 )
+from repro.protocols.registry import app_comparison_set, default_comparison_set
 from repro.stats.collector import RunResult
 from repro.workloads.apps import APP_NAMES, app_core_count
 from repro.workloads.base import KernelSpec
 from repro.workloads.registry import kernel_names
 
-KERNEL_PROTOCOLS = ("MESI", "DeNovoSync0", "DeNovoSync")
-APP_PROTOCOLS = ("MESI", "DeNovoSync")
+# Registry-derived comparison sets (MESI registers first, so the
+# figures' rel_time/rel_traffic baseline column stays in front).
+KERNEL_PROTOCOLS = default_comparison_set()
+APP_PROTOCOLS = app_comparison_set()
 
 FIGURE_FOR_FAMILY = {
     "tatas": "Figure 3 (TATAS locks)",

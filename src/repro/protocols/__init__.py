@@ -1,44 +1,60 @@
-"""Coherence protocols: MESI, DeNovoSync0, DeNovoSync."""
+"""Coherence protocol backends, discovered through the plugin registry.
+
+Importing this package imports every backend module; each registers
+itself with :func:`repro.protocols.registry.register_protocol` as a side
+effect, so the registry below is complete the moment the package is
+importable.  Adding a backend is a one-file change: write the module,
+decorate the class with its :class:`~repro.protocols.registry.ProtocolInfo`
+capabilities, and import it here.
+
+``PROTOCOLS`` (name -> class) and ``PROTOCOL_LABELS`` (name -> figure
+label) remain as thin read-only views over the registry for
+backwards compatibility; new code should query the registry directly
+(:func:`protocols_with`, :func:`default_comparison_set`, ...).
+"""
 
 from repro.protocols.base import Access, CoherenceProtocol
+from repro.protocols.registry import (
+    ProtocolInfo,
+    RegistryView,
+    app_comparison_set,
+    chaos_comparison_set,
+    default_comparison_set,
+    get_info,
+    iter_protocols,
+    protocol_names,
+    protocols_with,
+    register_protocol,
+    registry_markdown_table,
+    registry_table,
+    sanitize_comparison_set,
+    unknown_protocol_error,
+)
+
+# Importing a backend module registers it; registration order is
+# presentation order (MESI first: it is the figures' baseline column).
 from repro.protocols.mesi import MesiProtocol
 from repro.protocols.denovosync0 import DeNovoSync0Protocol
 from repro.protocols.denovosync import DeNovoSyncProtocol
 from repro.protocols.signatures import DeNovoSyncSigProtocol
 from repro.protocols.mesi_rfo import MesiRfoProtocol
+from repro.protocols.neat import NeatProtocol
+from repro.protocols.syncron import SynCronProtocol
 
-PROTOCOLS = {
-    "MESI": MesiProtocol,
-    "DeNovoSync0": DeNovoSync0Protocol,
-    "DeNovoSync": DeNovoSyncProtocol,
-    # Extension: DeNovoND-style signature-based data consistency (the
-    # paper's future-work direction).  Requires acquire/release-annotated
-    # workloads (all lock kernels, barriers, and app models qualify).
-    "DeNovoSyncSig": DeNovoSyncSigProtocol,
-    # Extension: MESI issuing sync reads as read-for-ownership (the
-    # section 8 related-work counterpoint).
-    "MESI-RFO": MesiRfoProtocol,
-}
+#: Backwards-compatible ``name -> protocol class`` view of the registry.
+PROTOCOLS = RegistryView("cls")
 
-#: Figure-label abbreviations used throughout the paper.
-PROTOCOL_LABELS = {
-    "MESI": "M",
-    "DeNovoSync0": "DS0",
-    "DeNovoSync": "DS",
-    "DeNovoSyncSig": "DSsig",
-    "MESI-RFO": "M-RFO",
-}
+#: Figure-label abbreviations used throughout the paper figures.
+PROTOCOL_LABELS = RegistryView("label")
 
 
 def make_protocol(name: str, *args, **kwargs) -> CoherenceProtocol:
-    """Instantiate a protocol by its paper name (``MESI``/``DeNovoSync0``/...)."""
-    try:
-        cls = PROTOCOLS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown protocol {name!r}; expected one of {sorted(PROTOCOLS)}"
-        ) from None
-    return cls(*args, **kwargs)
+    """Instantiate a protocol by its registered paper name.
+
+    Unknown names raise :class:`ValueError` listing the registered
+    names plus near-miss suggestions (``mesi`` -> ``MESI``).
+    """
+    return get_info(name).cls(*args, **kwargs)
 
 
 __all__ = [
@@ -47,7 +63,25 @@ __all__ = [
     "MesiProtocol",
     "DeNovoSync0Protocol",
     "DeNovoSyncProtocol",
+    "DeNovoSyncSigProtocol",
+    "MesiRfoProtocol",
+    "NeatProtocol",
+    "SynCronProtocol",
     "PROTOCOLS",
     "PROTOCOL_LABELS",
     "make_protocol",
+    "ProtocolInfo",
+    "RegistryView",
+    "register_protocol",
+    "iter_protocols",
+    "protocol_names",
+    "get_info",
+    "protocols_with",
+    "unknown_protocol_error",
+    "default_comparison_set",
+    "app_comparison_set",
+    "chaos_comparison_set",
+    "sanitize_comparison_set",
+    "registry_table",
+    "registry_markdown_table",
 ]

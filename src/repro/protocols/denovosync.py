@@ -16,8 +16,24 @@ from __future__ import annotations
 from repro.mem.l1 import DeNovoState
 from repro.protocols.backoff import BackoffState
 from repro.protocols.denovosync0 import DeNovoSync0Protocol
+from repro.protocols.registry import register_protocol
 
 
+@register_protocol(
+    name="DeNovoSync",
+    label="DS",
+    paper="DeNovoSync (ASPLOS'15 §5)",
+    summary=(
+        "DeNovoSync0 plus adaptive per-(core, word) hardware backoff "
+        "on failed sync reads; the paper's headline design."
+    ),
+    tracking="registry",
+    invalidation="self",
+    backoff="adaptive",
+    requires_annotations=True,
+    default_comparison=True,
+    app_comparison=True,
+)
 class DeNovoSyncProtocol(DeNovoSync0Protocol):
     name = "DeNovoSync"
 

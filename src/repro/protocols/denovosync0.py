@@ -28,8 +28,22 @@ from repro.mem.l1 import DeNovoState
 from repro.noc.messages import MessageClass
 from repro.protocols.base import Access
 from repro.protocols.denovo_base import DeNovoBaseProtocol
+from repro.protocols.registry import register_protocol
 
 
+@register_protocol(
+    name="DeNovoSync0",
+    label="DS0",
+    paper="DeNovoSync w/o backoff (ASPLOS'15 §4)",
+    summary=(
+        "Word-granularity LLC registry, reader self-invalidation at "
+        "acquires, sync reads register with no retry backoff."
+    ),
+    tracking="registry",
+    invalidation="self",
+    requires_annotations=True,
+    default_comparison=True,
+)
 class DeNovoSync0Protocol(DeNovoBaseProtocol):
     name = "DeNovoSync0"
 

@@ -37,6 +37,16 @@ DeNovo (word granularity):
 * **touched-set consistency**: every Valid word is present in its L1's
   region-indexed valid-word tracking, so a self-invalidation of the
   word's region cannot miss it.
+
+Neat (word granularity, no global tracking):
+
+* **dirty-set accuracy**: a core's dirty set and the Registered ("dirty")
+  words in its L1 are the same set — the release flush walks the dirty
+  set, so a dirty word missing from it would never self-downgrade;
+* **dirty freshness**: a dirty copy's value matches the backing store
+  (the simulator commits writes architecturally at issue; a divergence
+  means the protocol lost a write);
+* **touched-set consistency**: as for DeNovo.
 """
 
 from __future__ import annotations
@@ -161,5 +171,42 @@ def denovo_violations(protocol) -> list[str]:
                 failures.append(
                     f"word {addr}: Valid at core {core_id} but missing from "
                     f"its self-invalidation region tracking"
+                )
+    return failures
+
+
+# -- Neat ---------------------------------------------------------------------
+
+
+def neat_violations(protocol) -> list[str]:
+    """All violated Neat invariants of ``protocol`` (a NeatProtocol)."""
+    failures: list[str] = []
+    memory = protocol.memory
+    for core_id, l1 in enumerate(protocol.l1s):
+        dirty = protocol._dirty[core_id]
+        tracked = l1.tracked_valid_words()
+        for addr, state in l1.words_and_states():
+            if state is DeNovoState.REGISTERED:
+                if addr not in dirty:
+                    failures.append(
+                        f"word {addr}: dirty at core {core_id} but missing "
+                        f"from its dirty set (would never self-downgrade)"
+                    )
+                elif l1.value_of(addr) != memory.read(addr):
+                    failures.append(
+                        f"word {addr}: dirty copy at core {core_id} is stale "
+                        f"({l1.value_of(addr)} vs backing store "
+                        f"{memory.read(addr)})"
+                    )
+            elif state is DeNovoState.VALID and addr not in tracked:
+                failures.append(
+                    f"word {addr}: Valid at core {core_id} but missing from "
+                    f"its self-invalidation region tracking"
+                )
+        for addr in sorted(dirty):
+            if l1.state_of(addr, touch=False) is not DeNovoState.REGISTERED:
+                failures.append(
+                    f"word {addr}: in core {core_id}'s dirty set but not "
+                    f"held dirty in its L1"
                 )
     return failures

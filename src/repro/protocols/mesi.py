@@ -27,6 +27,7 @@ from repro.mem.regions import Region
 from repro.noc.messages import MessageClass
 from repro.protocols.base import Access, CoherenceProtocol
 from repro.protocols.invariants import mesi_violations
+from repro.protocols.registry import register_protocol
 
 
 @dataclass
@@ -38,6 +39,19 @@ class DirectoryEntry:
     busy_until: int = 0
 
 
+@register_protocol(
+    name="MESI",
+    label="M",
+    paper="baseline MESI directory (DeNovoSync §2)",
+    summary=(
+        "Blocking line-granularity directory with writer-initiated "
+        "invalidations; the paper's hardware baseline."
+    ),
+    tracking="directory",
+    invalidation="writer",
+    default_comparison=True,
+    app_comparison=True,
+)
 class MesiProtocol(CoherenceProtocol):
     name = "MESI"
 

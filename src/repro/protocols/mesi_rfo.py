@@ -23,8 +23,20 @@ from __future__ import annotations
 
 from repro.protocols.base import Access
 from repro.protocols.mesi import MesiProtocol
+from repro.protocols.registry import register_protocol
 
 
+@register_protocol(
+    name="MESI-RFO",
+    label="M-RFO",
+    paper="MESI + read-for-ownership sync reads (§8)",
+    summary=(
+        "MESI issuing sync reads as read-for-ownership, the related-"
+        "work counterpoint to registering sync reads."
+    ),
+    tracking="directory",
+    invalidation="writer",
+)
 class MesiRfoProtocol(MesiProtocol):
     name = "MESI-RFO"
 

@@ -49,6 +49,7 @@ from repro.mem.regions import Region
 from repro.noc.messages import MessageClass
 from repro.protocols.base import Access
 from repro.protocols.denovosync import DeNovoSyncProtocol
+from repro.protocols.registry import register_protocol
 
 #: Words a core signature / variable log can hold before degrading.
 SIGNATURE_CAPACITY = 4096
@@ -57,6 +58,19 @@ SIGNATURE_CAPACITY = 4096
 SIGNATURE_PAYLOAD_BYTES = 32
 
 
+@register_protocol(
+    name="DeNovoSyncSig",
+    label="DSsig",
+    paper="DeNovoND-style signatures (future work, §7)",
+    summary=(
+        "DeNovoSync carrying write signatures with lock transfers so "
+        "acquires invalidate only signature hits, not whole regions."
+    ),
+    tracking="registry",
+    invalidation="self",
+    backoff="adaptive",
+    requires_annotations=True,
+)
 class DeNovoSyncSigProtocol(DeNovoSyncProtocol):
     name = "DeNovoSyncSig"
 

@@ -46,6 +46,7 @@ from typing import Optional
 
 from repro.config import config_for_cores
 from repro.harness.parallel import ResultCache, RunSpec, kernel_cell
+from repro.protocols.registry import chaos_comparison_set
 from repro.service.client import ServiceClient
 from repro.service.server import SweepService
 from repro.service.supervisor import RetryPolicy
@@ -66,7 +67,8 @@ class ChaosConfig:
     #: seconds between observing a running cell and pulling the trigger.
     kill_interval: float = 0.3
     cores: int = 16
-    protocols: tuple = ("MESI", "DeNovoSync0", "DeNovoSync")
+    #: registry-derived default: every chaos-capable protocol.
+    protocols: tuple = field(default_factory=chaos_comparison_set)
     kernels: tuple = ("counter", "stack")
     #: scale of the healthy cells — large enough that kills land mid-cell.
     scale: float = 0.3

@@ -30,6 +30,7 @@ from repro.mem.l1 import DeNovoState, MesiState
 from repro.protocols import make_protocol
 from repro.protocols.denovo_base import DeNovoBaseProtocol
 from repro.protocols.mesi import MesiProtocol
+from repro.protocols.neat import NeatProtocol
 
 #: Spacing between operations: beyond any transfer latency, so the
 #: atomic-at-issue model has no in-flight overlap to reason about.
@@ -194,6 +195,8 @@ def check_protocol_state(protocol) -> list[str]:
       registry owner, with the up-to-date value.
     * MESI: an exclusive-owner line is cached only by its owner (in E/M);
       every holder of a line is known to the directory.
+    * Neat: every dirty (Registered) word is in its core's dirty set and
+      matches the backing store; every dirty-set entry is held dirty.
     """
     failures = []
 
@@ -218,6 +221,25 @@ def check_protocol_state(protocol) -> list[str]:
                 elif state is DeNovoState.REGISTERED:
                     fail(
                         f"word {addr} registered at both {owner} and {core_id}"
+                    )
+    elif isinstance(inner, NeatProtocol):
+        for core_id, l1 in enumerate(inner.l1s):
+            dirty = inner._dirty[core_id]
+            for addr, state in l1.words_and_states():
+                if state is not DeNovoState.REGISTERED:
+                    continue
+                if addr not in dirty:
+                    fail(
+                        f"word {addr}: dirty at core {core_id} but missing "
+                        f"from its dirty set"
+                    )
+                elif l1.value_of(addr) != inner.memory.read(addr):
+                    fail(f"dirty copy of word {addr} at core {core_id} is stale")
+            for addr in dirty:
+                if l1.state_of(addr, touch=False) is not DeNovoState.REGISTERED:
+                    fail(
+                        f"word {addr}: in core {core_id}'s dirty set but "
+                        f"not held dirty"
                     )
     elif isinstance(inner, MesiProtocol):
         for line, entry in inner._directory.items():
@@ -268,6 +290,28 @@ def _check_invariants(protocol, shadow, core, op, interleaving, step):
                     return fail(
                         f"two registered copies of word {addr}: cores "
                         f"{owner} and {core_id}"
+                    )
+    elif isinstance(protocol, NeatProtocol):
+        for core_id, l1 in enumerate(protocol.l1s):
+            dirty = protocol._dirty[core_id]
+            for addr, state in l1.words_and_states():
+                if state is not DeNovoState.REGISTERED:
+                    continue
+                if addr not in dirty:
+                    return fail(
+                        f"word {addr}: dirty at core {core_id} but missing "
+                        f"from its dirty set"
+                    )
+                if l1.value_of(addr) != protocol.memory.read(addr):
+                    return fail(
+                        f"dirty copy of word {addr} at core {core_id} is "
+                        f"stale"
+                    )
+            for addr in dirty:
+                if l1.state_of(addr, touch=False) is not DeNovoState.REGISTERED:
+                    return fail(
+                        f"word {addr}: in core {core_id}'s dirty set but "
+                        f"not held dirty in its L1"
                     )
     elif isinstance(protocol, MesiProtocol):
         for line, entry in protocol._directory.items():

@@ -37,8 +37,10 @@ class TestFigureTargets:
             cli_main(["fig3", "--cores", "16", "--scale", "0.02", "--format", "json"])
             == 0
         )
+        from repro.harness.experiments import KERNEL_PROTOCOLS
+
         rows = json.loads(capsys.readouterr().out)
-        assert len(rows) == 18  # six kernels x three protocols
+        assert len(rows) == 6 * len(KERNEL_PROTOCOLS)  # kernels x protocols
 
     def test_out_directory(self, tmp_path):
         assert (

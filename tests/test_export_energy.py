@@ -34,8 +34,10 @@ class TestExport:
         assert any(key.startswith("counter.") for key in row)
 
     def test_figure_rows_have_relative_metrics(self, small_figure):
+        from repro.harness.experiments import KERNEL_PROTOCOLS
+
         rows = figure_to_rows(small_figure)
-        assert len(rows) == 3  # one kernel x three protocols
+        assert len(rows) == len(KERNEL_PROTOCOLS)  # one kernel x defaults
         mesi = next(r for r in rows if r["protocol"] == "MESI")
         assert mesi["rel_time"] == pytest.approx(1.0)
 
@@ -44,10 +46,10 @@ class TestExport:
         count = write_figure_csv(small_figure, buffer)
         buffer.seek(0)
         parsed = list(csv.DictReader(buffer))
-        assert len(parsed) == count == 3
-        assert {row["protocol"] for row in parsed} == {
-            "MESI", "DeNovoSync0", "DeNovoSync",
-        }
+        from repro.harness.experiments import KERNEL_PROTOCOLS
+
+        assert len(parsed) == count == len(KERNEL_PROTOCOLS)
+        assert {row["protocol"] for row in parsed} == set(KERNEL_PROTOCOLS)
         assert float(parsed[0]["cycles"]) > 0
 
     def test_csv_leads_with_identity_columns(self, small_figure):

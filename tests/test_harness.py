@@ -33,9 +33,11 @@ class TestKernelFigure:
             "single Q", "double Q", "stack", "heap", "counter", "large CS",
         }
 
-    def test_three_protocols_per_row(self, fig3_16):
+    def test_default_protocol_set_per_row(self, fig3_16):
+        from repro.harness.experiments import KERNEL_PROTOCOLS
+
         for row in fig3_16.rows:
-            assert set(row.results) == {"MESI", "DeNovoSync0", "DeNovoSync"}
+            assert set(row.results) == set(KERNEL_PROTOCOLS)
 
     def test_relative_metrics(self, fig3_16):
         row = fig3_16.rows[0]
@@ -55,8 +57,10 @@ class TestAppsFigure:
         assert [row.workload for row in result.rows] == ["FFT", "ferret"]
         assert result.rows[0].num_cores == 64
         assert result.rows[1].num_cores == 16
+        from repro.harness.experiments import APP_PROTOCOLS
+
         for row in result.rows:
-            assert set(row.results) == {"MESI", "DeNovoSync"}
+            assert set(row.results) == set(APP_PROTOCOLS)
 
 
 class TestReport:

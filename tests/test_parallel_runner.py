@@ -110,23 +110,28 @@ class TestResultCache:
         )
 
     def test_warm_run_is_served_from_cache(self, tmp_path):
+        from repro.harness.experiments import KERNEL_PROTOCOLS
+
         cold_cache = ResultCache(tmp_path)
         cold = self.sweep(cold_cache)
         assert cold_cache.hits == 0
-        assert cold_cache.stores == 3  # three protocols x one kernel
+        # one store per default protocol x one kernel
+        assert cold_cache.stores == len(KERNEL_PROTOCOLS)
 
         warm_cache = ResultCache(tmp_path)
         warm = self.sweep(warm_cache)
-        assert warm_cache.hits == 3
+        assert warm_cache.hits == len(KERNEL_PROTOCOLS)
         assert warm_cache.stores == 0
         assert figure_summaries(cold) == figure_summaries(warm)
         assert figure_text(cold) == figure_text(warm)
 
     def test_warm_run_identical_under_parallel_jobs(self, tmp_path):
         cache = ResultCache(tmp_path)
+        from repro.harness.experiments import KERNEL_PROTOCOLS
+
         cold = self.sweep(cache, jobs=2)
         warm = self.sweep(cache, jobs=2)
-        assert cache.hits == 3
+        assert cache.hits == len(KERNEL_PROTOCOLS)
         assert figure_summaries(cold) == figure_summaries(warm)
 
     def test_seed_is_part_of_the_key(self, tmp_path):

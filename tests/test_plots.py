@@ -4,7 +4,7 @@ import io
 
 import pytest
 
-from repro.harness.experiments import run_kernel_figure
+from repro.harness.experiments import KERNEL_PROTOCOLS, run_kernel_figure
 from repro.harness.plots import _bar, render_figure, render_time_bars, render_traffic_bars
 
 
@@ -36,7 +36,7 @@ class TestRender:
         out = io.StringIO()
         render_time_bars(figure, out, width=40)
         lines = [l for l in out.getvalue().splitlines() if "|" in l]
-        assert len(lines) == 3
+        assert len(lines) == len(KERNEL_PROTOCOLS)
         mesi_bar = lines[0].split("|")[1]
         assert len(mesi_bar) == pytest.approx(40, abs=1)
 
@@ -45,7 +45,7 @@ class TestRender:
         render_traffic_bars(figure, out, width=40)
         lines = [l for l in out.getvalue().splitlines() if "|" in l]
         mesi = len(lines[0].split("|")[1])
-        denovo = len(lines[2].split("|")[1])
+        denovo = len(lines[KERNEL_PROTOCOLS.index("DeNovoSync")].split("|")[1])
         assert denovo < mesi
 
     def test_figure_header(self, figure):
