@@ -253,14 +253,25 @@ def lint_source(source: str, path: str = "<string>") -> list[Finding]:
     return findings
 
 
+def _display_path(path: Path) -> str:
+    """Path as reported in findings and the JSON report: relative to the
+    working directory when possible, so committed reports don't embed the
+    absolute checkout location."""
+    try:
+        return str(path.resolve().relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)
+
+
 def lint_paths(paths: Iterable) -> tuple[list[Finding], list[str]]:
     """Lint every file; returns (findings, files linted)."""
     findings: list[Finding] = []
     linted: list[str] = []
     for path in paths:
         path = Path(path)
-        findings.extend(lint_source(path.read_text(), str(path)))
-        linted.append(str(path))
+        display = _display_path(path)
+        findings.extend(lint_source(path.read_text(), display))
+        linted.append(display)
     return findings, linted
 
 
