@@ -6,7 +6,7 @@ PYTHON ?= python
 # needed); with the package installed this still prefers the checkout.
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install test test-fast lint sanitize serve chaos-service bench bench-micro profile figures examples clean
+.PHONY: install test test-fast lint typecheck formal sanitize serve chaos-service bench bench-micro profile figures examples clean
 
 install:
 	pip install -e ".[dev]"
@@ -19,6 +19,16 @@ test-fast:
 
 lint:
 	ruff check src tests
+
+# Static types on the typed subset (config, registry, formal models);
+# the [tool.mypy] files list in pyproject.toml is the source of truth.
+typecheck:
+	$(PYTHON) -m mypy
+
+# Formal verification: conformance + model exploration + the litmus
+# divergence oracle + TLA+ export for every protocol with a model.
+formal:
+	$(PYTHON) -m repro.harness.cli formal --jobs 0
 
 # DRF-contract sanitizer: lint the synclib/workloads sources and sweep
 # every kernel x protocol for unannotated races and stale-read hazards.

@@ -34,7 +34,7 @@ flight.
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from collections.abc import Generator
 
 from repro.cpu import isa
 from repro.protocols.base import Access, CoherenceProtocol
@@ -82,21 +82,21 @@ class Core:
             getattr(type(protocol), "sync_read_backoff", None)
             is not CoherenceProtocol.sync_read_backoff
         )
-        self.finish_time: Optional[int] = None
-        self._gen: Optional[Generator] = None
+        self.finish_time: int | None = None
+        self._gen: Generator | None = None
         self._bucket_stack: list[TimeComponent] = []
         # Watchdog-visible blocked state: the ISA op currently in flight,
         # why the core is waiting (a constant string — no per-op
         # formatting on the hot path), and when it started waiting.
         self.pending_op = None
-        self.wait_reason: Optional[str] = None
+        self.wait_reason: str | None = None
         self.blocked_since = 0
         # One-shot token set by ScheduleController.release: lets the
         # parked continuation pass the gate exactly once.
         self._release_granted = False
         # In-flight retry state (one op in flight on an in-order core).
-        self._rmw_state: Optional[tuple] = None
-        self._spin_op: Optional[isa.WaitLoad] = None
+        self._rmw_state: tuple | None = None
+        self._spin_op: isa.WaitLoad | None = None
         self._spin_retry_at = 0
         # Callbacks prebound once so the hot path schedules (method, arg)
         # pairs instead of allocating a closure per operation.
@@ -123,7 +123,7 @@ class Core:
 
     # -- accounting -----------------------------------------------------------
 
-    def _bucket(self) -> Optional[TimeComponent]:
+    def _bucket(self) -> TimeComponent | None:
         return self._bucket_stack[-1] if self._bucket_stack else None
 
     def _account(self, component: TimeComponent, cycles: int) -> None:

@@ -16,7 +16,7 @@ DeNovo protocols.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.mem.regions import Region
 from repro.stats.timeparts import TimeComponent

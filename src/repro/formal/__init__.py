@@ -1,0 +1,40 @@
+"""Formal protocol models and the checkers built on them.
+
+The package has four layers, all driven by the guarded-action IR in
+:mod:`repro.formal.model`:
+
+* :mod:`repro.formal.model` — typed states, events, guards and update
+  actions, plus the hand-written models for MESI and DeNovoSync0;
+* :mod:`repro.formal.conformance` — static AST analysis of the Python
+  protocol implementations, diffed against the model;
+* :mod:`repro.formal.explore` — a TLC-lite small-scope BFS over the
+  model itself, checking SWMR / single-owner-registration / data-value
+  invariants;
+* :mod:`repro.formal.tla` — a self-contained TLA+ module exporter so
+  TLC can recheck the same model independently;
+* :mod:`repro.formal.oracle` — a divergence oracle replaying the mc
+  litmus corpus's executions through the model.
+
+The ``formal`` CLI target fans :mod:`repro.formal.cells` out over every
+registry protocol that declares a ``formal_model`` capability.
+"""
+
+from repro.formal.model import (
+    MODELS,
+    FormalModel,
+    Guard,
+    Invariant,
+    OtherEffect,
+    Rule,
+    get_model,
+)
+
+__all__ = [
+    "MODELS",
+    "FormalModel",
+    "Guard",
+    "Invariant",
+    "OtherEffect",
+    "Rule",
+    "get_model",
+]

@@ -1,0 +1,312 @@
+"""TLC-lite: small-scope exhaustive exploration of a formal model.
+
+BFS over the cross product of per-address model states for a bounded
+scope (2–3 cores × 1–2 addresses × a bounded write counter), with
+canonical state hashing under core- and address-permutation symmetry
+(every core runs the same nondeterministic program, and addresses are
+independent, so permuted states are behaviorally identical).
+
+Value tracking is symbolic-lite: memory holds a per-address write
+counter and every core holds the counter value it last observed, which
+is exactly enough to check the ``value-coherence`` invariant (a core in
+a clean-readable state must hold the *current* counter).  The other
+invariant kinds (``at-most-one-in``, ``exclusive-against``) are pure
+state predicates.
+
+A violation stops the search and is reported as a sanitize-shaped
+:class:`~repro.sanitize.findings.Finding` carrying the event trace from
+the initial state; model states that the scoped search never occupies
+are reported as ``dead-state`` findings (rule-graph reachability is
+necessary but not sufficient — guards can starve a state).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from itertools import permutations
+
+from repro.formal.model import (
+    INV_AT_MOST_ONE_IN,
+    INV_EXCLUSIVE_AGAINST,
+    INV_VALUE_COHERENCE,
+    FormalModel,
+    Invariant,
+    Rule,
+)
+from repro.sanitize.findings import (
+    KIND_DEAD_STATE,
+    KIND_MODEL_INVARIANT,
+    SEVERITY_ERROR,
+    Finding,
+)
+
+#: ``vals`` entry for a core whose copy carries no meaningful value.
+NO_VALUE = -1
+
+#: One coherence unit: (per-core states, memory counter, per-core values).
+Unit = tuple[tuple[str, ...], int, tuple[int, ...]]
+#: One explored state: a Unit per address.
+State = tuple[Unit, ...]
+
+
+@dataclass(frozen=True)
+class ExploreScope:
+    """Scope bounds of one exploration (the TLC "model" constants)."""
+
+    cores: int = 3
+    addrs: int = 2
+    max_writes: int = 2
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome and statistics of one small-scope exploration."""
+
+    model: str
+    scope: ExploreScope
+    states: int = 0
+    transitions: int = 0
+    max_depth: int = 0
+    findings: list[Finding] = field(default_factory=list)
+    occupied: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def stats(self) -> dict[str, object]:
+        """JSON-ready statistics (deterministic)."""
+        return {
+            "cores": self.scope.cores,
+            "addrs": self.scope.addrs,
+            "max_writes": self.scope.max_writes,
+            "states": self.states,
+            "transitions": self.transitions,
+            "max_depth": self.max_depth,
+            "occupied_states": list(self.occupied),
+            "violations": len(self.findings),
+        }
+
+
+def _initial_state(model: FormalModel, scope: ExploreScope) -> State:
+    unit: Unit = (
+        (model.initial,) * scope.cores, 0, (NO_VALUE,) * scope.cores,
+    )
+    return (unit,) * scope.addrs
+
+
+def _apply(
+    unit: Unit, core: int, rule: Rule, initial: str
+) -> Unit:
+    """The unit after ``core`` fires ``rule`` (guard already checked)."""
+    states, mem, vals = unit
+    new_states = list(states)
+    new_vals = list(vals)
+    new_states[core] = rule.post
+    if rule.writes_value:
+        mem += 1
+        new_vals[core] = mem
+    elif rule.reads_memory:
+        new_vals[core] = mem
+    elif rule.post == initial:
+        new_vals[core] = NO_VALUE
+    for other in range(len(states)):
+        if other == core:
+            continue
+        for effect in rule.others:
+            if states[other] == effect.when:
+                new_states[other] = effect.to
+                if effect.to == initial:
+                    new_vals[other] = NO_VALUE
+                break
+    return (tuple(new_states), mem, tuple(new_vals))
+
+
+def _successors(
+    state: State, model: FormalModel, scope: ExploreScope
+) -> list[tuple[str, State]]:
+    """Deterministically ordered (label, successor) pairs."""
+    out: list[tuple[str, State]] = []
+    for addr in range(scope.addrs):
+        states, mem, _vals = state[addr]
+        for core in range(scope.cores):
+            pre = states[core]
+            other_states = tuple(
+                states[o] for o in range(scope.cores) if o != core
+            )
+            for rule in model.rules:
+                if rule.pre != pre:
+                    continue
+                if rule.writes_value and mem >= scope.max_writes:
+                    continue
+                if not rule.guard.holds(other_states):
+                    continue
+                unit = _apply(state[addr], core, rule, model.initial)
+                successor = state[:addr] + (unit,) + state[addr + 1:]
+                if successor == state:
+                    continue  # identity transitions add no behavior
+                label = f"core{core}/addr{addr}: {rule.label()}"
+                out.append((label, successor))
+    return out
+
+
+def _canonical(state: State, scope: ExploreScope) -> State:
+    """The least permutation-equivalent form of ``state`` (cores are
+    symmetric across all addresses at once; addresses are symmetric)."""
+    best: State | None = None
+    for perm in permutations(range(scope.cores)):
+        permuted = tuple(
+            (
+                tuple(states[i] for i in perm),
+                mem,
+                tuple(vals[i] for i in perm),
+            )
+            for states, mem, vals in state
+        )
+        for aperm in permutations(range(scope.addrs)):
+            candidate = tuple(permuted[i] for i in aperm)
+            if best is None or candidate < best:
+                best = candidate
+    assert best is not None
+    return best
+
+
+def _check_invariant(inv: Invariant, unit: Unit) -> str | None:
+    """An error message when ``inv`` fails on ``unit``, else None."""
+    states, mem, vals = unit
+    if inv.kind == INV_AT_MOST_ONE_IN:
+        holders = [c for c, s in enumerate(states) if s in inv.states]
+        if len(holders) > 1:
+            return (
+                f"cores {holders} are all in "
+                f"{'/'.join(inv.states)} (at most one allowed)"
+            )
+        return None
+    if inv.kind == INV_EXCLUSIVE_AGAINST:
+        for core, state in enumerate(states):
+            if state not in inv.states:
+                continue
+            clash = [
+                o for o, s in enumerate(states)
+                if o != core and s in inv.other_states
+            ]
+            if clash:
+                return (
+                    f"core {core} is in {state} but cores {clash} still "
+                    f"hold copies in {'/'.join(inv.other_states)}"
+                )
+        return None
+    if inv.kind == INV_VALUE_COHERENCE:
+        for core, state in enumerate(states):
+            if state in inv.states and vals[core] != mem:
+                return (
+                    f"core {core} is clean-readable in {state} but holds "
+                    f"value #{vals[core]} while memory is at #{mem}"
+                )
+        return None
+    raise AssertionError(f"unknown invariant kind {inv.kind!r}")
+
+
+def _render(state: State) -> str:
+    parts = []
+    for addr, (states, mem, vals) in enumerate(state):
+        copies = ",".join(
+            f"c{c}={s}" + ("" if vals[c] == NO_VALUE else f"#{vals[c]}")
+            for c, s in enumerate(states)
+        )
+        parts.append(f"addr{addr}[{copies} mem#{mem}]")
+    return " ".join(parts)
+
+
+def _trace_to(
+    canon: State, parents: dict[State, tuple[State, str] | None]
+) -> list[str]:
+    labels: list[str] = []
+    cursor: State | None = canon
+    while cursor is not None:
+        parent = parents[cursor]
+        if parent is None:
+            break
+        cursor, label = parent
+        labels.append(label)
+    labels.reverse()
+    return labels
+
+
+def explore_model(
+    model: FormalModel, scope: ExploreScope | None = None
+) -> ExplorationResult:
+    """Exhaustively explore ``model`` within ``scope``.
+
+    Stops at the first invariant violation (its finding carries the
+    event trace from the initial state); a clean search additionally
+    reports model states the scoped search never occupied.
+    """
+    scope = scope or ExploreScope()
+    result = ExplorationResult(model=model.name, scope=scope)
+    initial = _initial_state(model, scope)
+    root = _canonical(initial, scope)
+    parents: dict[State, tuple[State, str] | None] = {root: None}
+    depths: dict[State, int] = {root: 0}
+    occupied: set[str] = {model.initial}
+    queue: deque[State] = deque([root])
+
+    while queue:
+        state = queue.popleft()
+        depth = depths[state]
+        result.states += 1
+        result.max_depth = max(result.max_depth, depth)
+        for _states, _mem, _vals in state:
+            occupied.update(_states)
+        for inv in model.invariants:
+            for addr in range(scope.addrs):
+                message = _check_invariant(inv, state[addr])
+                if message is None:
+                    continue
+                result.findings.append(
+                    Finding(
+                        kind=KIND_MODEL_INVARIANT,
+                        severity=SEVERITY_ERROR,
+                        message=(
+                            f"{model.name}: invariant {inv.name!r} fails at "
+                            f"addr{addr}: {message}"
+                        ),
+                        site=f"formal/{model.name}",
+                        details={
+                            "model": model.name,
+                            "invariant": inv.name,
+                            "state": _render(state),
+                            "trace": _trace_to(state, parents),
+                            "depth": depth,
+                        },
+                    )
+                )
+                result.occupied = tuple(sorted(occupied))
+                return result
+        for label, successor in _successors(state, model, scope):
+            result.transitions += 1
+            canon = _canonical(successor, scope)
+            if canon in parents:
+                continue
+            parents[canon] = (state, label)
+            depths[canon] = depth + 1
+            queue.append(canon)
+
+    result.occupied = tuple(sorted(occupied))
+    for state_name in model.states:
+        if state_name not in occupied:
+            result.findings.append(
+                Finding(
+                    kind=KIND_DEAD_STATE,
+                    severity=SEVERITY_ERROR,
+                    message=(
+                        f"{model.name}: state {state_name!r} is never "
+                        f"occupied within scope {scope.cores} cores x "
+                        f"{scope.addrs} addrs (guards starve it)"
+                    ),
+                    site=f"formal/{model.name}",
+                    details={"model": model.name, "state": state_name},
+                )
+            )
+    return result

@@ -1,0 +1,227 @@
+"""TLA+ module export of a guarded-action model.
+
+Emits one self-contained ``.tla`` module per model so TLC — an
+independent checker sharing no code with this repo — can re-verify the
+same state machine the Python explorer searches.  The encoding mirrors
+:mod:`repro.formal.explore` exactly:
+
+* ``st[c][a]`` — core ``c``'s stable state for unit ``a``;
+* ``mem[a]`` — the per-unit write counter (abstract value);
+* ``val[c][a]`` — the counter value ``c`` last observed (0 = none, the
+  explorer's ``NO_VALUE``);
+
+one TLA+ action per non-stuttering rule (identity rules with no data
+effect are pure stutter steps and are omitted), guards as quantifiers
+over ``Cores \\ {c}``, and the model's invariants as state predicates
+conjoined in the THEOREM.  Emission order follows rule declaration
+order, so the output is byte-stable and golden-file testable.
+"""
+
+from __future__ import annotations
+
+from repro.formal.model import (
+    GUARD_NO_OTHER_IN,
+    GUARD_SOME_OTHER_IN,
+    FormalModel,
+    Invariant,
+    Rule,
+)
+
+
+def module_name(model: FormalModel) -> str:
+    """TLA+ module (and file) name for ``model``."""
+    return model.name.upper()
+
+
+def _tla_set(states: tuple[str, ...]) -> str:
+    return "{" + ", ".join(f'"{state}"' for state in states) + "}"
+
+
+def _invariant_name(inv: Invariant) -> str:
+    return "".join(part.capitalize() for part in inv.name.split("-"))
+
+
+def _action_name(rule: Rule) -> str:
+    return f"{rule.event}_{rule.pre}_{rule.post}"
+
+
+def _emits(rule: Rule) -> bool:
+    """False for pure stutter rules (identity, no data effect)."""
+    return (
+        rule.pre != rule.post
+        or rule.writes_value
+        or rule.reads_memory
+        or bool(rule.others)
+    )
+
+
+def _actor_val_expr(rule: Rule, model: FormalModel) -> str | None:
+    """The acting core's new ``val`` entry, or None when unchanged."""
+    if rule.writes_value:
+        return "mem[a] + 1"
+    if rule.reads_memory:
+        return "mem[a]"
+    if rule.post == model.initial:
+        return "0"
+    return None
+
+
+def _action(rule: Rule, model: FormalModel) -> list[str]:
+    lines = [f"{_action_name(rule)}(c, a) =="]
+    if rule.desc:
+        lines.insert(0, f"\\* {rule.desc}")
+    conjuncts = [f'st[c][a] = "{rule.pre}"']
+    if rule.guard.kind == GUARD_NO_OTHER_IN:
+        conjuncts.append(
+            f"\\A o \\in Cores \\ {{c}} : "
+            f"~(st[o][a] \\in {_tla_set(rule.guard.states)})"
+        )
+    elif rule.guard.kind == GUARD_SOME_OTHER_IN:
+        conjuncts.append(
+            f"\\E o \\in Cores \\ {{c}} : "
+            f"st[o][a] \\in {_tla_set(rule.guard.states)}"
+        )
+    if rule.writes_value:
+        conjuncts.append("mem[a] < MaxWrites")
+        conjuncts.append("mem' = [mem EXCEPT ![a] = mem[a] + 1]")
+    else:
+        conjuncts.append("UNCHANGED mem")
+
+    actor_val = _actor_val_expr(rule, model)
+    if rule.others:
+        branches = [f'ELSE IF o = c THEN "{rule.post}"']
+        for effect in rule.others:
+            branches.append(
+                f'ELSE IF st[o][b] = "{effect.when}" THEN "{effect.to}"'
+            )
+        branches.append("ELSE st[o][b]")
+        conjuncts.append(
+            "st' = [o \\in Cores |-> [b \\in Addrs |->\n"
+            "          IF b /= a THEN st[o][b]\n"
+            + "".join(f"          {branch}\n" for branch in branches).rstrip()
+            + "]]"
+        )
+        val_branches = []
+        if actor_val is not None:
+            val_branches.append(f"ELSE IF o = c THEN {actor_val}")
+        resets = tuple(
+            effect.when for effect in rule.others if effect.to == model.initial
+        )
+        if resets:
+            guard = "" if actor_val is not None else "o /= c /\\ "
+            val_branches.append(
+                f"ELSE IF {guard}st[o][b] \\in {_tla_set(resets)} THEN 0"
+            )
+        if val_branches:
+            val_branches.append("ELSE val[o][b]")
+            conjuncts.append(
+                "val' = [o \\in Cores |-> [b \\in Addrs |->\n"
+                "          IF b /= a THEN val[o][b]\n"
+                + "".join(
+                    f"          {branch}\n" for branch in val_branches
+                ).rstrip()
+                + "]]"
+            )
+        else:
+            conjuncts.append("UNCHANGED val")
+    else:
+        conjuncts.append(f"st' = [st EXCEPT ![c][a] = \"{rule.post}\"]")
+        if actor_val is not None:
+            conjuncts.append(f"val' = [val EXCEPT ![c][a] = {actor_val}]")
+        else:
+            conjuncts.append("UNCHANGED val")
+
+    for conjunct in conjuncts:
+        first, *rest = conjunct.split("\n")
+        lines.append(f"    /\\ {first}")
+        lines.extend(f"    {line}" for line in rest)
+    return lines
+
+
+def _invariant(inv: Invariant, model: FormalModel) -> list[str]:
+    lines = []
+    if inv.desc:
+        lines.append(f"\\* {inv.desc}")
+    lines.append(f"{_invariant_name(inv)} ==")
+    if inv.kind == "at-most-one-in":
+        lines.append("    \\A a \\in Addrs :")
+        lines.append(
+            f"        Cardinality({{c \\in Cores : "
+            f"st[c][a] \\in {_tla_set(inv.states)}}}) <= 1"
+        )
+    elif inv.kind == "exclusive-against":
+        lines.append("    \\A a \\in Addrs : \\A c \\in Cores :")
+        lines.append(f"        st[c][a] \\in {_tla_set(inv.states)} =>")
+        lines.append(
+            f"            \\A o \\in Cores \\ {{c}} : "
+            f"~(st[o][a] \\in {_tla_set(inv.other_states)})"
+        )
+    elif inv.kind == "value-coherence":
+        lines.append("    \\A a \\in Addrs : \\A c \\in Cores :")
+        lines.append(
+            f"        st[c][a] \\in {_tla_set(inv.states)} => "
+            f"val[c][a] = mem[a]"
+        )
+    else:
+        raise AssertionError(f"unknown invariant kind {inv.kind!r}")
+    return lines
+
+
+def export_tla(model: FormalModel) -> str:
+    """The complete TLA+ module text for ``model``."""
+    name = module_name(model)
+    rules = [rule for rule in model.rules if _emits(rule)]
+    names = [_action_name(rule) for rule in rules]
+    assert len(names) == len(set(names)), f"{model.name}: action name clash"
+
+    header = f"---- MODULE {name} ----"
+    lines = [
+        header,
+        f"\\* Guarded-action model '{model.name}' of protocol "
+        f"{model.protocol} ({model.granularity} granularity).",
+        "\\* Generated by repro.formal.tla; regenerate with the `formal`",
+        "\\* CLI target.  mem[a] counts writes (the abstract value) and",
+        "\\* val[c][a] is the count core c last observed (0 = none);",
+        "\\* identity rules with no data effect are stutter steps and are",
+        "\\* not emitted.",
+        "EXTENDS Naturals, FiniteSets",
+        "",
+        "CONSTANTS Cores, Addrs, MaxWrites",
+        "",
+        f"States == {_tla_set(model.states)}",
+        f'Initial == "{model.initial}"',
+        "",
+        "VARIABLES st, mem, val",
+        "",
+        "vars == <<st, mem, val>>",
+        "",
+        "TypeOK ==",
+        "    /\\ st \\in [Cores -> [Addrs -> States]]",
+        "    /\\ mem \\in [Addrs -> Nat]",
+        "    /\\ val \\in [Cores -> [Addrs -> Nat]]",
+        "",
+        "Init ==",
+        "    /\\ st = [c \\in Cores |-> [a \\in Addrs |-> Initial]]",
+        "    /\\ mem = [a \\in Addrs |-> 0]",
+        "    /\\ val = [c \\in Cores |-> [a \\in Addrs |-> 0]]",
+        "",
+    ]
+    for rule in rules:
+        lines.extend(_action(rule, model))
+        lines.append("")
+    for inv in model.invariants:
+        lines.extend(_invariant(inv, model))
+        lines.append("")
+    lines.append("Next ==")
+    lines.append("    \\E c \\in Cores : \\E a \\in Addrs :")
+    for action in names:
+        lines.append(f"        \\/ {action}(c, a)")
+    lines.append("")
+    lines.append("Spec == Init /\\ [][Next]_vars")
+    lines.append("")
+    inv_names = " /\\ ".join(
+        ["TypeOK"] + [_invariant_name(inv) for inv in model.invariants]
+    )
+    lines.append(f"THEOREM Spec => []({inv_names})")
+    lines.append("=" * len(header))
+    return "\n".join(lines) + "\n"

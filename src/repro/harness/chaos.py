@@ -18,7 +18,7 @@ chaos-smoke job drive it; ``tests/test_faults.py`` asserts on it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.config import SystemConfig, config_for_cores
 from repro.harness.runner import run_workload
@@ -119,7 +119,7 @@ def run_chaos_cell(
     config: SystemConfig,
     plan: FaultPlan,
     label: str,
-    baseline_snapshot: Optional[dict[int, int]] = None,
+    baseline_snapshot: dict[int, int] | None = None,
     baseline_cycles: int = 0,
 ) -> ChaosCell:
     """One differential: perturbed run vs (possibly precomputed) baseline."""

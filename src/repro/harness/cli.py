@@ -230,7 +230,12 @@ def _run_sanitize(args) -> int:
     from repro.sanitize.cells import SanitizeCell, run_cell
     from repro.sanitize.findings import Report
     from repro.protocols.registry import sanitize_comparison_set
-    from repro.sanitize.lint import default_lint_targets, lint_paths
+    from repro.sanitize.lint import (
+        SIMULATOR_RULES,
+        default_lint_targets,
+        lint_paths,
+        simulator_lint_targets,
+    )
     from repro.workloads.registry import all_kernel_ids
 
     protocols = (
@@ -239,6 +244,11 @@ def _run_sanitize(args) -> int:
     report = Report()
 
     lint_findings, linted = lint_paths(default_lint_targets())
+    sim_findings, sim_linted = lint_paths(
+        simulator_lint_targets(), rules=SIMULATOR_RULES
+    )
+    lint_findings = lint_findings + sim_findings
+    linted = linted + sim_linted
     report.extend(lint_findings)
     report.lint_files = linted
 
@@ -290,6 +300,86 @@ def _run_sanitize(args) -> int:
             fh.write("\n")
         print(f"report: {args.sanitize_out}")
     return 0 if report.clean else 1
+
+
+def _run_formal(args) -> int:
+    """The ``formal`` target: verify each modelled protocol against its
+    guarded-action model — static conformance of the implementation,
+    small-scope exhaustive exploration of the model's invariants, the
+    litmus divergence oracle, and TLA+ module export."""
+    from repro.formal.cells import FormalCell, run_cell
+    from repro.harness.parallel import run_tasks
+    from repro.mc.litmus import CORPUS
+    from repro.protocols.registry import formal_model_set
+    from repro.sanitize.findings import Report
+
+    unknown = [name for name in (args.litmus or []) if name not in CORPUS]
+    if unknown:
+        raise SystemExit(
+            f"unknown litmus test(s) {unknown}; available: {sorted(CORPUS)}"
+        )
+    protocols = (
+        tuple(args.protocols) if args.protocols else formal_model_set()
+    )
+    unmodelled = [
+        name for name in protocols if name not in formal_model_set()
+    ]
+    if unmodelled:
+        raise SystemExit(
+            f"protocol(s) {unmodelled} declare no formal model; "
+            f"modelled: {list(formal_model_set())}"
+        )
+    cells = [
+        FormalCell(
+            protocol=protocol,
+            divergence_bound=args.divergence_bound,
+            divergence_schedules=args.divergence_schedules,
+            litmus=tuple(args.litmus) if args.litmus else (),
+        )
+        for protocol in protocols
+    ]
+    outcomes = run_tasks(run_cell, cells, jobs=args.jobs)
+
+    report = Report()
+    dirty = 0
+    for outcome in outcomes:
+        print(outcome.describe())
+        dirty += not outcome.ok
+        report.extend(outcome.findings)
+        report.cells.append(
+            {
+                "cell": f"{outcome.protocol} x {outcome.model}",
+                "protocol": outcome.protocol,
+                "model": outcome.model,
+                "coverage": outcome.coverage,
+                "exploration": outcome.explore_stats,
+                "divergence": outcome.oracle_stats,
+                "tla_module": outcome.tla_module,
+            }
+        )
+        if args.tla_out:
+            os.makedirs(args.tla_out, exist_ok=True)
+            path = os.path.join(args.tla_out, f"{outcome.tla_module}.tla")
+            with open(path, "w") as fh:
+                fh.write(outcome.tla_text)
+            print(f"  tla: {path}")
+    for finding in report.findings:
+        if finding.severity == "error":
+            print(f"formal error [{finding.kind}] {finding.site}: "
+                  f"{finding.message}")
+    print(
+        f"formal: {len(outcomes) - dirty}/{len(outcomes)} protocols verified "
+        f"({len(report.errors)} error finding(s), "
+        f"{len(report.warnings)} warning(s); divergence bound "
+        f"{args.divergence_bound}, {args.divergence_schedules} schedules/test)"
+    )
+    if args.formal_out:
+        os.makedirs(os.path.dirname(args.formal_out) or ".", exist_ok=True)
+        with open(args.formal_out, "w") as fh:
+            fh.write(report.to_json())
+            fh.write("\n")
+        print(f"report: {args.formal_out}")
+    return 1 if dirty else 0
 
 
 def _run_serve(args) -> int:
@@ -625,7 +715,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "target",
         choices=ALL_TARGETS
-        + ["all", "run", "profile", "chaos", "mc", "sanitize",
+        + ["all", "run", "profile", "chaos", "mc", "sanitize", "formal",
            "serve", "submit", "status", "chaos-service", "protocols"],
     )
     parser.add_argument(
@@ -704,12 +794,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--litmus", nargs="+", default=None,
-        help="for 'mc': litmus tests to explore (default: the whole corpus)",
+        help="for 'mc'/'formal': litmus tests to explore (default: the "
+        "whole corpus)",
     )
     parser.add_argument(
         "--protocols", nargs="+", default=None,
         choices=list(protocol_names()), metavar="NAME",
-        help="for 'mc'/'sanitize'/'chaos'/'submit': protocols to sweep, "
+        help="for 'mc'/'sanitize'/'formal'/'chaos'/'submit': protocols to "
+        "sweep, "
         "out of " + ", ".join(protocol_names())
         + " (default: the registry's capability-filtered set per "
         "target: mc/submit "
@@ -736,6 +828,26 @@ def main(argv: list[str] | None = None) -> int:
         "--mc-out", default=os.path.join("results", "mc"),
         help="for 'mc': directory for counterexample artifacts "
         "(default: results/mc)",
+    )
+    parser.add_argument(
+        "--formal-out", default=os.path.join("results", "formal.json"),
+        help="for 'formal': path of the JSON findings report "
+        "(default: results/formal.json; empty string disables)",
+    )
+    parser.add_argument(
+        "--tla-out", default=os.path.join("results", "formal"),
+        help="for 'formal': directory for exported TLA+ modules "
+        "(default: results/formal; empty string disables)",
+    )
+    parser.add_argument(
+        "--divergence-bound", type=int, default=1,
+        help="for 'formal': preemption bound of the litmus divergence "
+        "oracle's exploration (default: 1)",
+    )
+    parser.add_argument(
+        "--divergence-schedules", type=int, default=300,
+        help="for 'formal': schedules replayed per litmus test by the "
+        "divergence oracle (default: 300)",
     )
     parser.add_argument(
         "--sanitize-out", default=os.path.join("results", "sanitize.json"),
@@ -861,6 +973,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_mc(args)
     if args.target == "sanitize":
         return _run_sanitize(args)
+    if args.target == "formal":
+        return _run_formal(args)
     if args.target == "serve":
         return _run_serve(args)
     if args.target == "submit":

@@ -19,7 +19,6 @@ sweep stays tractable in pure Python; the shapes are stable across scales
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.config import config_for_cores
 from repro.harness.parallel import (
@@ -83,9 +82,9 @@ def run_kernel_figure(
     scale: float = 0.1,
     seed: int = 1,
     protocols: tuple[str, ...] = KERNEL_PROTOCOLS,
-    names: Optional[list[str]] = None,
+    names: list[str] | None = None,
     jobs: int = 1,
-    cache: Optional[ResultCache] = None,
+    cache: ResultCache | None = None,
     **kernel_kwargs,
 ) -> FigureResult:
     """Reproduce one kernel figure (3, 4, 5 or 6).
@@ -124,9 +123,9 @@ def run_apps_figure(
     scale: float = 0.5,
     seed: int = 2,
     protocols: tuple[str, ...] = APP_PROTOCOLS,
-    names: Optional[list[str]] = None,
+    names: list[str] | None = None,
     jobs: int = 1,
-    cache: Optional[ResultCache] = None,
+    cache: ResultCache | None = None,
 ) -> FigureResult:
     """Reproduce Figure 7 (applications)."""
     rows: list[FigureRow] = []
@@ -188,7 +187,7 @@ def run_padding_ablation(
     scale: float = 0.1,
     seed: int = 1,
     jobs: int = 1,
-    cache: Optional[ResultCache] = None,
+    cache: ResultCache | None = None,
 ) -> dict[str, FigureResult]:
     """Section 7.1.1: TATAS kernels with and without lock padding.
 
@@ -238,7 +237,7 @@ def run_sw_backoff_ablation(
     scale: float = 0.1,
     seed: int = 1,
     jobs: int = 1,
-    cache: Optional[ResultCache] = None,
+    cache: ResultCache | None = None,
 ) -> dict[str, FigureResult]:
     """Section 7.1.1: TATAS kernels with software exponential backoff.
 
@@ -267,7 +266,7 @@ def run_selfinv_ablation(
     scale: float = 0.3,
     seed: int = 2,
     jobs: int = 1,
-    cache: Optional[ResultCache] = None,
+    cache: ResultCache | None = None,
 ) -> dict[str, FigureResult]:
     """Section 3's data-consistency spectrum on one application.
 
@@ -307,7 +306,7 @@ def run_eqcheck_ablation(
     scale: float = 0.1,
     seed: int = 1,
     jobs: int = 1,
-    cache: Optional[ResultCache] = None,
+    cache: ResultCache | None = None,
 ) -> dict[str, FigureResult]:
     """Section 7.1.3: Herlihy kernels, original vs reduced equality checks.
 

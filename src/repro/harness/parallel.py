@@ -34,7 +34,7 @@ import tempfile
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Iterable, Optional
+from collections.abc import Iterable
 
 from repro.config import SystemConfig
 from repro.harness.runner import DEFAULT_MAX_EVENTS, run_workload
@@ -56,7 +56,7 @@ DEFAULT_CACHE_DIR = os.path.join("results", ".runcache")
 def kernel_cell(
     family: str,
     name: str,
-    spec: Optional[KernelSpec] = None,
+    spec: KernelSpec | None = None,
     padded: bool = True,
     **kernel_kwargs,
 ) -> tuple:
@@ -145,7 +145,7 @@ class RunSpec:
     protocol: str
     config: SystemConfig
     seed: int = 0
-    max_events: Optional[int] = DEFAULT_MAX_EVENTS
+    max_events: int | None = DEFAULT_MAX_EVENTS
 
     def cache_token(self) -> dict:
         """Everything that determines this cell's result, JSON-serializable."""
@@ -171,7 +171,7 @@ def execute_spec(spec: RunSpec) -> RunResult:
 # -- code-version fingerprint -------------------------------------------------
 
 #: (source fingerprint, digest) of the last :func:`code_version` call.
-_code_version_memo: Optional[tuple[tuple, str]] = None
+_code_version_memo: tuple[tuple, str] | None = None
 
 
 def _source_root() -> Path:
@@ -258,7 +258,7 @@ class ResultCache:
     def _path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
 
-    def load(self, spec: RunSpec) -> Optional[RunResult]:
+    def load(self, spec: RunSpec) -> RunResult | None:
         path = self._path_for(self.key_for(spec))
         try:
             with open(path, "rb") as fh:
@@ -319,7 +319,7 @@ class ResultCache:
 # -- the sweep executor -------------------------------------------------------
 
 
-def resolve_jobs(jobs: Optional[int], *, cap: Optional[int] = None) -> int:
+def resolve_jobs(jobs: int | None, *, cap: int | None = None) -> int:
     """Normalize a ``--jobs`` value: None/0/negative mean "all host cores".
 
     ``cap`` bounds the answer from above (a service's configured worker
@@ -345,7 +345,7 @@ class CellError:
     kind: str
     message: str
     traceback: str
-    exception: Optional[BaseException] = None
+    exception: BaseException | None = None
 
     @classmethod
     def from_exception(cls, exc: BaseException) -> "CellError":
@@ -374,8 +374,8 @@ class CellOutcome:
     """
 
     spec: RunSpec
-    result: Optional[RunResult] = None
-    error: Optional[CellError] = None
+    result: RunResult | None = None
+    error: CellError | None = None
     source: str = "run"
 
     @property
@@ -387,7 +387,7 @@ def run_specs_outcomes(
     specs: Iterable[RunSpec],
     *,
     jobs: int = 1,
-    cache: Optional[ResultCache] = None,
+    cache: ResultCache | None = None,
 ) -> list[CellOutcome]:
     """Run every spec with per-cell failure isolation.
 
@@ -398,7 +398,7 @@ def run_specs_outcomes(
     a poisoned cell costs only its own slot, not the sweep.
     """
     specs = list(specs)
-    outcomes: list[Optional[CellOutcome]] = [None] * len(specs)
+    outcomes: list[CellOutcome | None] = [None] * len(specs)
     pending: list[int] = []
     for index, spec in enumerate(specs):
         cached = cache.load(spec) if cache is not None else None
@@ -443,7 +443,7 @@ def run_specs(
     specs: Iterable[RunSpec],
     *,
     jobs: int = 1,
-    cache: Optional[ResultCache] = None,
+    cache: ResultCache | None = None,
 ) -> list[RunResult]:
     """Run every spec; return results in spec order.
 
@@ -518,7 +518,7 @@ def run_tasks(
     return slots
 
 
-def default_cache(cache_dir: Optional[str] = None) -> ResultCache:
+def default_cache(cache_dir: str | None = None) -> ResultCache:
     """The CLI's cache: ``--cache-dir``, else ``$REPRO_CACHE_DIR``, else
     ``results/.runcache`` under the working directory."""
     root = cache_dir or os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.config import SystemConfig
 from repro.cpu.core import Core
 from repro.protocols import make_protocol
@@ -34,12 +32,12 @@ def run_workload(
     config: SystemConfig,
     *,
     seed: int = 0,
-    max_events: Optional[int] = DEFAULT_MAX_EVENTS,
+    max_events: int | None = DEFAULT_MAX_EVENTS,
     keep_protocol: bool = False,
     trace: bool = False,
     fault_plan=None,
-    max_cycles: Optional[int] = None,
-    progress_window: Optional[int] = DEFAULT_PROGRESS_WINDOW,
+    max_cycles: int | None = None,
+    progress_window: int | None = DEFAULT_PROGRESS_WINDOW,
 ) -> RunResult:
     """Build ``workload`` for ``config``, run it under ``protocol_name``.
 

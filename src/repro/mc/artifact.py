@@ -19,7 +19,6 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional
 
 from repro.mc.litmus import CORPUS
 from repro.mc.runner import Choice, Execution, McOptions, Violation, run_schedule
@@ -33,7 +32,7 @@ def export_counterexample(
     *,
     test_name: str,
     protocol_name: str,
-    bound: Optional[int],
+    bound: int | None,
     schedule: list[Choice],
     violation: Violation,
     execution: Execution,
@@ -78,7 +77,7 @@ class ReplayReport:
 
     reproduced: bool  # a violation of the recorded kind recurred
     trace_identical: bool  # access trace matches the artifact's
-    violation: Optional[Violation]
+    violation: Violation | None
     execution: Execution
 
     def describe(self) -> str:
@@ -90,7 +89,7 @@ class ReplayReport:
 
 
 def replay_counterexample(
-    path, options: Optional[McOptions] = None
+    path, options: McOptions | None = None
 ) -> tuple[dict, ReplayReport]:
     """Replay the artifact at ``path``; returns (payload, report)."""
     payload = load_counterexample(path)

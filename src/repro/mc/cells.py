@@ -11,7 +11,6 @@ outcome that travels back across the process boundary is plain data.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -20,10 +19,10 @@ class McCell:
 
     test_name: str
     protocol: str
-    bound: Optional[int] = 2
+    bound: int | None = 2
     max_schedules: int = 20_000
     #: Directory for counterexample artifacts (None: do not export).
-    out_dir: Optional[str] = None
+    out_dir: str | None = None
 
 
 @dataclass
@@ -32,19 +31,19 @@ class CellOutcome:
 
     test_name: str
     protocol: str
-    bound: Optional[int]
+    bound: int | None
     executions: int
     naive_estimate: int
     sleep_cuts: int
     bound_pruned: int
     max_depth: int
     truncated: bool
-    violation_kind: Optional[str] = None
-    violation_message: Optional[str] = None
+    violation_kind: str | None = None
+    violation_message: str | None = None
     schedule_len: int = 0
     minimized_len: int = 0
-    minimized_schedule: Optional[list] = None
-    artifact_path: Optional[str] = None
+    minimized_schedule: list | None = None
+    artifact_path: str | None = None
 
     @property
     def ok(self) -> bool:

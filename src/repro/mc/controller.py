@@ -15,7 +15,7 @@ serialize, attribute, and enumerate interleavings of visible operations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 
 @dataclass

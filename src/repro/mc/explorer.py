@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional
+from collections.abc import Callable
 
 from repro.mc.litmus import LitmusTest
 from repro.mc.runner import (
@@ -58,7 +58,7 @@ class Frame:
     backtrack: set = field(default_factory=set)
     sleep: dict = field(default_factory=dict)  # choice -> StepInfo
     bound_blocked: set = field(default_factory=set)
-    last_core_before: Optional[int] = None
+    last_core_before: int | None = None
     preemptions_before: int = 0
 
     @property
@@ -72,7 +72,7 @@ class ExploreResult:
 
     test_name: str
     protocol_name: str
-    bound: Optional[int]
+    bound: int | None
     executions: int = 0
     sleep_cuts: int = 0
     bound_pruned: int = 0
@@ -82,9 +82,9 @@ class ExploreResult:
     #: factor reported per cell is ``naive_estimate / executions``.
     naive_estimate: int = 0
     truncated: bool = False
-    violation: Optional[object] = None  # first Violation found, if any
-    violating_schedule: Optional[list] = None
-    violating_execution: Optional[Execution] = None
+    violation: object | None = None  # first Violation found, if any
+    violating_schedule: list | None = None
+    violating_execution: Execution | None = None
 
     @property
     def pruning_factor(self) -> float:
@@ -174,13 +174,16 @@ def explore(
     test: LitmusTest,
     protocol_name: str,
     *,
-    bound: Optional[int] = 2,
-    options: Optional[McOptions] = None,
+    bound: int | None = 2,
+    options: McOptions | None = None,
+    on_execution: Callable[[Execution], None] | None = None,
 ) -> ExploreResult:
     """Explore ``test`` under ``protocol_name`` up to ``bound`` preemptions.
 
     Stops at the first violation (after recording its schedule); otherwise
     runs until the DFS is exhausted or ``options.max_schedules`` is hit.
+    ``on_execution`` observes every completed, violation-free execution
+    (the formal divergence oracle replays them against the model).
     """
     options = options or McOptions()
     result = ExploreResult(
@@ -208,6 +211,8 @@ def explore(
             result.violating_schedule = list(execution.schedule)
             result.violating_execution = execution
             return result
+        if on_execution is not None and execution.completed:
+            on_execution(execution)
 
         # Extend the path with frames for the new suffix and set their
         # preemption counters from the executed steps.
@@ -267,7 +272,7 @@ def explore_iterative(
     protocol_name: str,
     *,
     bounds: tuple[int, ...] = (0, 1, 2),
-    options: Optional[McOptions] = None,
+    options: McOptions | None = None,
 ) -> list[ExploreResult]:
     """CHESS-style iterative bounding: explore at each bound in turn,
     stopping early at the first violation (anytime behavior: shallow

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Generator
+from collections.abc import Callable, Generator
 
 from repro.config import SystemConfig
 from repro.cpu.isa import Cas, Fai, Load, SelfInvalidate, Store, WaitLoad

@@ -17,7 +17,7 @@ of the original schedule and replays deterministically.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from repro.mc.litmus import LitmusTest
 from repro.mc.runner import Choice, Execution, McOptions, run_schedule
@@ -28,8 +28,8 @@ def reproduces(
     protocol_name: str,
     schedule: Sequence[Choice],
     kind: str,
-    options: Optional[McOptions] = None,
-) -> Optional[Execution]:
+    options: McOptions | None = None,
+) -> Execution | None:
     """Tolerantly replay ``schedule``; return the execution if it ends in
     a violation of ``kind``, else None."""
     execution = run_schedule(
@@ -45,7 +45,7 @@ def minimize_schedule(
     protocol_name: str,
     schedule: Sequence[Choice],
     kind: str,
-    options: Optional[McOptions] = None,
+    options: McOptions | None = None,
 ) -> tuple[list[Choice], Execution]:
     """Shrink ``schedule`` while a ``kind`` violation still reproduces.
 

@@ -34,7 +34,7 @@ litmus test's own postcondition (see :mod:`repro.mc.oracle`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from repro.config import config_for_cores
 from repro.cpu import isa
@@ -62,8 +62,8 @@ class StepInfo:
     """
 
     actor: Choice
-    core: Optional[int]
-    lines: Optional[frozenset]
+    core: int | None
+    lines: frozenset | None
     mutating: bool
 
 
@@ -86,7 +86,7 @@ class Violation:
     kind: str  # invariant | conformance | final-memory | postcondition |
     #            deadlock | livelock | step-limit
     message: str
-    dump: Optional[str] = None  # rendered DiagnosticDump, if any
+    dump: str | None = None  # rendered DiagnosticDump, if any
 
     def describe(self) -> str:
         return f"[{self.kind}] {self.message}"
@@ -105,7 +105,7 @@ class Step:
     #: StepInfo for every enabled choice (for DPOR frames).
     enabled_info: dict
     #: Core that executed the previous core step (None at the start).
-    last_core_before: Optional[int]
+    last_core_before: int | None
     preemptive: bool
     #: Trace records produced by this step (usually exactly one).
     records: tuple[AccessRecord, ...]
@@ -115,7 +115,7 @@ class Step:
 class McOptions:
     """Knobs of a controlled execution / exploration."""
 
-    preemption_bound: Optional[int] = 2
+    preemption_bound: int | None = 2
     spin_retry_limit: int = 3
     max_steps: int = 600
     max_drain_events: int = 200_000
@@ -160,7 +160,7 @@ def _op_info(core_id: int, op, amap: AddressMap, region_lines: dict) -> StepInfo
     actor = ("core", core_id)
     if isinstance(op, isa.SelfInvalidate):
         if op.flush_all:
-            lines: Optional[frozenset] = None
+            lines: frozenset | None = None
         else:
             lines = frozenset().union(
                 *(region_lines.get(region.region_id, frozenset())
@@ -210,8 +210,8 @@ def run_schedule(
     protocol_name: str,
     *,
     forced: Sequence[Choice] = (),
-    branch_sleep: Optional[dict] = None,
-    options: Optional[McOptions] = None,
+    branch_sleep: dict | None = None,
+    options: McOptions | None = None,
     tolerant: bool = False,
 ) -> Execution:
     """Execute ``test`` under ``protocol_name`` with the given schedule.
@@ -251,14 +251,14 @@ def run_schedule(
     sleep_cut = False
     skipped_forced = 0
     preemptions = 0
-    last_core: Optional[int] = None
+    last_core: int | None = None
     evicts_used = 0
     probes: dict[tuple[int, int], int] = {}  # (core, line) -> consecutive probes
     just_reset = False
     branch_index = max(0, len(forced) - 1)
     active_sleep: dict[Choice, StepInfo] = dict(branch_sleep or {})
 
-    def drain() -> Optional[Violation]:
+    def drain() -> Violation | None:
         try:
             sim.run(max_events=options.max_drain_events)
         except InvariantViolation as exc:

@@ -15,12 +15,10 @@ fall back to the generic methods.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.config import SystemConfig
 
 
-def _shift_for(value: int) -> Optional[int]:
+def _shift_for(value: int) -> int | None:
     """log2(value) when value is a power of two, else None."""
     if value > 0 and value & (value - 1) == 0:
         return value.bit_length() - 1

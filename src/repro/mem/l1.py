@@ -19,7 +19,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Callable, Optional
+from collections.abc import Callable
 
 from repro.config import SystemConfig
 from repro.mem.address import AddressMap
@@ -57,7 +57,7 @@ class _SetAssocDirectory:
             group.move_to_end(line)
         return entry
 
-    def put(self, line: int, entry) -> Optional[tuple[int, object]]:
+    def put(self, line: int, entry) -> tuple[int, object] | None:
         """Insert/replace ``line``; return an evicted (line, entry) or None."""
         group = self._sets[line % self.num_sets]
         victim = None
@@ -101,14 +101,14 @@ class MesiL1:
         self._dsets = self._dir._sets
         self._dnsets = self._dir.num_sets
 
-    def state_of(self, line: int, touch: bool = True) -> Optional[MesiState]:
+    def state_of(self, line: int, touch: bool = True) -> MesiState | None:
         group = self._dsets[line % self._dnsets]
         entry = group.get(line)
         if entry is not None and touch:
             group.move_to_end(line)
         return entry
 
-    def insert(self, line: int, state: MesiState) -> Optional[tuple[int, MesiState]]:
+    def insert(self, line: int, state: MesiState) -> tuple[int, MesiState] | None:
         """Fill ``line`` in ``state``; return the evicted (line, state) if any."""
         return self._dir.put(line, state)
 
@@ -125,7 +125,7 @@ class MesiL1:
             raise KeyError(f"line {line} not present in L1 {self.core_id}")
         self._dir.replace(line, state)
 
-    def invalidate(self, line: int) -> Optional[MesiState]:
+    def invalidate(self, line: int) -> MesiState | None:
         """Drop ``line`` (writer-initiated invalidation); return old state."""
         return self._dir.pop(line)
 
@@ -166,7 +166,7 @@ class DeNovoL1:
         core_id: int,
         config: SystemConfig,
         amap: AddressMap,
-        on_evict_registered: Optional[Callable[[int, int], None]] = None,
+        on_evict_registered: Callable[[int, int], None] | None = None,
     ) -> None:
         self.core_id = core_id
         self.amap = amap
@@ -186,17 +186,17 @@ class DeNovoL1:
         # region_id -> set of word addresses currently Valid, for O(1)
         # selective self-invalidation.
         self._valid_by_region: dict[int, set[int]] = {}
-        self._region_of_addr: Callable[[int], Optional[int]] = lambda addr: None
+        self._region_of_addr: Callable[[int], int | None] = lambda addr: None
         # Optional live view of the allocator's addr -> Region dict; when
         # installed, valid-word tracking reads it directly (one dict get)
         # instead of making two calls per lookup.  The dict is mutated in
         # place by the allocator, so the reference never goes stale.
-        self._region_map: Optional[dict] = None
+        self._region_map: dict | None = None
 
     def set_region_lookup(
         self,
-        lookup: Callable[[int], Optional[int]],
-        region_map: Optional[dict] = None,
+        lookup: Callable[[int], int | None],
+        region_map: dict | None = None,
     ) -> None:
         """Install the allocator's address -> region-id mapping."""
         self._region_of_addr = lookup
@@ -218,7 +218,7 @@ class DeNovoL1:
             group.move_to_end(line)
         return frame.states.get(off, DeNovoState.INVALID)
 
-    def present_value(self, addr: int) -> Optional[int]:
+    def present_value(self, addr: int) -> int | None:
         """Value of ``addr`` if Valid or Registered here, else None.
 
         Combines the ``state_of`` + ``value_of`` pair of the data-access
@@ -241,7 +241,7 @@ class DeNovoL1:
             return frame.values[off]
         return None
 
-    def registered_value(self, addr: int) -> Optional[int]:
+    def registered_value(self, addr: int) -> int | None:
         """Value of ``addr`` if Registered here, else None (one lookup).
 
         The sync-access hit check: Valid does not count as a usable copy
@@ -283,7 +283,7 @@ class DeNovoL1:
         frame.values[off] = value
         return True
 
-    def value_of(self, addr: int) -> Optional[int]:
+    def value_of(self, addr: int) -> int | None:
         shift = self._line_shift
         if shift is not None:
             line, off = addr >> shift, addr & self._off_mask
@@ -440,7 +440,7 @@ class DeNovoL1:
             region_id = self._region_of_addr(addr)
         self._valid_by_region.setdefault(region_id, set()).add(addr)
 
-    def _untrack_valid(self, addr: int, old_state: Optional[DeNovoState]) -> None:
+    def _untrack_valid(self, addr: int, old_state: DeNovoState | None) -> None:
         if old_state is not DeNovoState.VALID:
             return
         rmap = self._region_map
@@ -465,7 +465,7 @@ class DeNovoL1:
     def resident_lines(self) -> list[int]:
         return [line for line, _ in self._dir]
 
-    def evict_line(self, line: int) -> Optional[DeNovoFrame]:
+    def evict_line(self, line: int) -> DeNovoFrame | None:
         """Force-evict the frame of ``line`` with full writeback handling
         (as replacement would); return the evicted frame, or None if the
         line is not resident."""

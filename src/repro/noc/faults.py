@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Optional
+from collections.abc import Callable
 
 from repro.mem.regions import Region
 from repro.protocols.base import Access, CoherenceProtocol
@@ -101,7 +101,7 @@ class FaultInjector:
 
     # -- scheduling hooks (called by the runner) ---------------------------
 
-    def attach(self, sim, keep_running: Optional[Callable[[], bool]] = None) -> None:
+    def attach(self, sim, keep_running: Callable[[], bool] | None = None) -> None:
         """Schedule this plan's eviction events on ``sim``.
 
         ``keep_running`` gates storm rescheduling (the runner passes
@@ -140,7 +140,7 @@ class FaultInjector:
 
     # -- perturbation helpers ----------------------------------------------
 
-    def _defer(self, ticketed: bool) -> Optional[Access]:
+    def _defer(self, ticketed: bool) -> Access | None:
         """Maybe turn a first-issue access into a forced retry.
 
         The core re-issues with ``ticketed=True`` (exactly as after a real
@@ -274,7 +274,7 @@ class FaultInjector:
         self,
         core_id: int,
         addr: int,
-        fn: Callable[[int], Optional[int]],
+        fn: Callable[[int], int | None],
         release: bool = False,
         ticketed: bool = False,
         acquire: bool = False,

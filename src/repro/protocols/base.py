@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, Optional
+from collections.abc import Callable
 
 from repro.config import SystemConfig
 from repro.mem.address import AddressMap
@@ -72,7 +72,7 @@ class CoherenceProtocol(ABC):
 
     name = "abstract"
 
-    def __init__(self, config: SystemConfig, allocator: Optional[RegionAllocator] = None):
+    def __init__(self, config: SystemConfig, allocator: RegionAllocator | None = None):
         self.config = config
         self.amap = AddressMap(config)
         self.mesh = Mesh(config)
@@ -202,7 +202,7 @@ class CoherenceProtocol(ABC):
         self,
         core_id: int,
         addr: int,
-        fn: Callable[[int], Optional[int]],
+        fn: Callable[[int], int | None],
         release: bool = False,
         ticketed: bool = False,
         acquire: bool = False,
@@ -310,7 +310,7 @@ class CoherenceProtocol(ABC):
         self.traffic.record(klass, _CONTROL_FLITS, hops)
         self.traffic.record(klass, _data_flits(self.config.line_bytes), hops)
 
-    def region_id_of(self, addr: int) -> Optional[int]:
+    def region_id_of(self, addr: int) -> int | None:
         if self.allocator is None:
             return None
         region = self.allocator.region_of(addr)

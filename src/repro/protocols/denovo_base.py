@@ -23,7 +23,7 @@ reads; hardware backoff).
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from collections.abc import Callable
 
 from repro.mem.l1 import DeNovoL1, DeNovoState
 from repro.mem.regions import Region
@@ -182,7 +182,7 @@ class DeNovoBaseProtocol(CoherenceProtocol):
         return Access(value, latency, hit=False)
 
     def _fill_line_valid_words(
-        self, core_id: int, line: int, from_owner: Optional[int]
+        self, core_id: int, line: int, from_owner: int | None
     ) -> int:
         """Fill the words of ``line`` the responder can supply; return count.
 
@@ -381,7 +381,7 @@ class DeNovoBaseProtocol(CoherenceProtocol):
         self,
         core_id: int,
         addr: int,
-        fn: Callable[[int], Optional[int]],
+        fn: Callable[[int], int | None],
         release: bool = False,
         ticketed: bool = False,
         acquire: bool = False,

@@ -22,7 +22,7 @@ Consequences modelled here, straight from the paper:
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from collections.abc import Callable
 
 from repro.mem.l1 import DeNovoState
 from repro.noc.messages import MessageClass
@@ -43,6 +43,7 @@ from repro.protocols.registry import register_protocol
     invalidation="self",
     requires_annotations=True,
     default_comparison=True,
+    formal_model="denovosync0",
 )
 class DeNovoSync0Protocol(DeNovoBaseProtocol):
     name = "DeNovoSync0"
@@ -111,7 +112,7 @@ class DeNovoSync0Protocol(DeNovoBaseProtocol):
         self,
         core_id: int,
         addr: int,
-        fn: Callable[[int], Optional[int]],
+        fn: Callable[[int], int | None],
         release: bool = False,
         ticketed: bool = False,
         acquire: bool = False,

@@ -20,7 +20,7 @@ without simulating every 1-cycle hit as a separate event.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from collections.abc import Callable
 
 from repro.mem.l1 import MesiL1, MesiState
 from repro.mem.regions import Region
@@ -34,7 +34,7 @@ from repro.protocols.registry import register_protocol
 class DirectoryEntry:
     """Home-bank state for one line: sharer list and busy window."""
 
-    exclusive_owner: Optional[int] = None  # core holding the line in E or M
+    exclusive_owner: int | None = None  # core holding the line in E or M
     sharers: set[int] = field(default_factory=set)
     busy_until: int = 0
 
@@ -51,6 +51,7 @@ class DirectoryEntry:
     invalidation="writer",
     default_comparison=True,
     app_comparison=True,
+    formal_model="mesi",
 )
 class MesiProtocol(CoherenceProtocol):
     name = "MESI"
@@ -88,7 +89,7 @@ class MesiProtocol(CoherenceProtocol):
 
     def _reserve_or_retry(
         self, entry: DirectoryEntry, core_id: int, bank: int, ticketed: bool
-    ) -> Optional[Access]:
+    ) -> Access | None:
         """Blocking-directory admission control.
 
         A request arriving while the entry is busy takes a FIFO reservation
@@ -254,7 +255,7 @@ class MesiProtocol(CoherenceProtocol):
         self,
         core_id: int,
         addr: int,
-        fn: Callable[[int], Optional[int]],
+        fn: Callable[[int], int | None],
         release: bool = False,
         ticketed: bool = False,
         acquire: bool = False,
@@ -339,7 +340,9 @@ class MesiProtocol(CoherenceProtocol):
                     self.mesh.invalidation_round_trip(bank, t) for t in targets
                 )
                 latency = max(latency, latency // 2 + inv_rtt)
-                for target in targets:
+                # Pin the fan-out order: set iteration order would leak
+                # into the NoC event sequence (unordered-iteration lint).
+                for target in sorted(targets):
                     self.record_control(MessageClass.INVALIDATION, bank, target)
                     self.record_control(MessageClass.INVALIDATION, target, bank)
                     self._invalidate_sharer(line, target, self.now + latency)

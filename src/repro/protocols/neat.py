@@ -33,7 +33,7 @@ per-line dirty bits.  Replacement of a dirty word writes it back (the
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from collections.abc import Callable
 
 from repro.mem.l1 import DeNovoL1, DeNovoState
 from repro.mem.regions import Region
@@ -201,7 +201,7 @@ class NeatProtocol(CoherenceProtocol):
         self,
         core_id: int,
         addr: int,
-        fn: Callable[[int], Optional[int]],
+        fn: Callable[[int], int | None],
         release: bool = False,
         ticketed: bool = False,
         acquire: bool = False,

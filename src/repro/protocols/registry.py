@@ -47,6 +47,12 @@ The capability schema (one :class:`ProtocolInfo` per backend):
     Member of the headline comparison set (figure sweeps, mc, chaos).
 ``app_comparison``
     Member of the smaller app-figure set (fig6-style sweeps).
+``formal_model``
+    Key of the guarded-action model in :data:`repro.formal.model.MODELS`
+    describing this backend's stable state machine, or None.  Protocols
+    that declare one are checked by the ``formal`` CLI target: static
+    conformance of the implementation AST, small-scope exploration of
+    the model, TLA+ export and the litmus divergence oracle.
 
 Import-order note: this module must not import any protocol module
 (the decorators live *in* those modules); ``repro/protocols/__init__``
@@ -58,7 +64,7 @@ from __future__ import annotations
 
 import difflib
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Mapping, Optional
+from collections.abc import Callable, Iterator, Mapping
 
 
 @dataclass(frozen=True)
@@ -77,7 +83,8 @@ class ProtocolInfo:
     runtime_invariants: bool = True
     default_comparison: bool = False
     app_comparison: bool = False
-    cls: Optional[type] = field(default=None, compare=False)
+    formal_model: str | None = None
+    cls: type | None = field(default=None, compare=False)
 
 
 _TRACKING = {"directory", "registry", "dirty-set"}
@@ -210,6 +217,13 @@ def sanitize_comparison_set() -> tuple[str, ...]:
     return protocols_with(invalidation="self")
 
 
+def formal_model_set() -> tuple[str, ...]:
+    """Backends with a formal model attached (the ``formal`` target set)."""
+    return tuple(
+        info.name for info in _REGISTRY.values() if info.formal_model
+    )
+
+
 # -- presentation -------------------------------------------------------------
 
 
@@ -217,7 +231,7 @@ def registry_table() -> str:
     """The registry as an aligned text table (the ``protocols`` target)."""
     headers = (
         "protocol", "label", "tracking", "invalidation", "backoff",
-        "annotations", "faults", "invariants", "sets", "paper",
+        "annotations", "faults", "invariants", "sets", "formal", "paper",
     )
     rows = []
     for info in _REGISTRY.values():
@@ -235,7 +249,7 @@ def registry_table() -> str:
             "required" if info.requires_annotations else "optional",
             "yes" if info.fault_hooks else "no",
             "yes" if info.runtime_invariants else "no",
-            sets, info.paper,
+            sets, info.formal_model or "-", info.paper,
         ))
     widths = [
         max(len(headers[i]), *(len(row[i]) for row in rows))
@@ -260,8 +274,8 @@ def registry_markdown_table() -> str:
     """
     lines = [
         "| protocol | label | tracking | invalidation | backoff "
-        "| annotations | comparison sets | models |",
-        "|---|---|---|---|---|---|---|---|",
+        "| annotations | comparison sets | formal model | models |",
+        "|---|---|---|---|---|---|---|---|---|",
     ]
     for info in _REGISTRY.values():
         sets = ", ".join(
@@ -272,11 +286,12 @@ def registry_markdown_table() -> str:
             )
             if member
         ) or "—"
+        formal = f"`{info.formal_model}`" if info.formal_model else "—"
         lines.append(
             f"| `{info.name}` | {info.label} | {info.tracking} "
             f"| {info.invalidation} | {info.backoff} "
             f"| {'required' if info.requires_annotations else 'optional'} "
-            f"| {sets} | {info.paper} |"
+            f"| {sets} | {formal} | {info.paper} |"
         )
     return "\n".join(lines)
 
@@ -328,6 +343,7 @@ __all__ = [
     "app_comparison_set",
     "chaos_comparison_set",
     "sanitize_comparison_set",
+    "formal_model_set",
     "registry_table",
     "registry_markdown_table",
 ]

@@ -42,7 +42,6 @@ registration miss.
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional
 
 from repro.mem.l1 import DeNovoState
 from repro.mem.regions import Region
@@ -78,9 +77,9 @@ class DeNovoSyncSigProtocol(DeNovoSyncProtocol):
         super().__init__(config, allocator)
         n = config.num_cores
         #: Per-core write signature since the last release (None = overflow).
-        self._core_sigs: list[Optional[set[int]]] = [set() for _ in range(n)]
+        self._core_sigs: list[set[int] | None] = [set() for _ in range(n)]
         #: What each core's last release attached (for release waves).
-        self._last_released: list[Optional[set[int]]] = [set() for _ in range(n)]
+        self._last_released: list[set[int] | None] = [set() for _ in range(n)]
         #: Global release epoch counter.
         self._epoch = 0
         #: Sync variable -> deque of (epoch, words) release-log entries.

@@ -34,7 +34,7 @@ registry always points at the up-to-date copy) intact.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Optional
+from collections.abc import Callable
 
 from repro.mem.l1 import DeNovoState
 from repro.noc.messages import MessageClass
@@ -179,7 +179,7 @@ class SynCronProtocol(DeNovoBaseProtocol):
         self,
         core_id: int,
         addr: int,
-        fn: Callable[[int], Optional[int]],
+        fn: Callable[[int], int | None],
         release: bool = False,
         ticketed: bool = False,
         acquire: bool = False,

@@ -47,7 +47,7 @@ race finding instead).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional
+from collections.abc import Callable, Iterable
 
 from repro.sanitize.findings import (
     KIND_STALE_READ_HAZARD,
@@ -84,10 +84,10 @@ class TraceAnalysis:
     records_analyzed: int = 0
 
 
-def region_lookup(allocator) -> Callable[[int], Optional[int]]:
+def region_lookup(allocator) -> Callable[[int], int | None]:
     """Build an addr -> region-id mapping from a RegionAllocator."""
 
-    def lookup(addr: int) -> Optional[int]:
+    def lookup(addr: int) -> int | None:
         region = allocator.region_of(addr)
         return None if region is None else region.region_id
 
@@ -102,7 +102,7 @@ def _ordered(epoch: _Epoch, clock: dict[int, int]) -> bool:
 def analyze_trace(
     records: Iterable[AccessRecord],
     *,
-    region_of: Optional[Callable[[int], Optional[int]]] = None,
+    region_of: Callable[[int], int | None] | None = None,
     max_findings_per_kind: int = MAX_FINDINGS_PER_KIND,
 ) -> TraceAnalysis:
     """Run both dynamic checks over ``records``.

@@ -30,6 +30,15 @@ KIND_WAITLOAD_NOT_SYNC = "waitload-not-sync"
 KIND_UNBALANCED_BUCKETS = "unbalanced-buckets"
 KIND_RELEASE_ON_DATA_STORE = "release-on-data-store"
 KIND_RAW_ADDRESS = "raw-address"
+KIND_UNORDERED_ITERATION = "unordered-iteration"
+
+#: Formal-mode finding kinds (repro.formal.* checkers; same report shape).
+KIND_MISSING_HANDLER = "missing-handler"
+KIND_UNHANDLED_TRANSITION = "unhandled-transition"
+KIND_FORBIDDEN_TRANSITION = "forbidden-transition"
+KIND_DEAD_STATE = "dead-state"
+KIND_MODEL_INVARIANT = "model-invariant-violation"
+KIND_MODEL_DIVERGENCE = "model-divergence"
 
 
 @dataclass(frozen=True)

@@ -33,13 +33,24 @@ sources and enforces:
     A bare ``yield WaitLoad(...)`` whose predicate does not pin the
     value with an equality test discards information (the observed
     value is not implied by the predicate passing).  Non-gating.
+``unordered-iteration`` (error, simulator sources only)
+    A ``for`` loop or order-sensitive comprehension iterates a provably
+    set-typed expression without ``sorted(...)``.  Set iteration order
+    is a function of element hashes and insertion history, so any
+    simulator event sequence derived from it (invalidation fan-out,
+    eviction victims, drain order) silently depends on it; the fix —
+    ``sorted(...)`` — pins the order.  Order-insensitive consumers
+    (``sum``/``min``/``max``/``any``/``all``/``set``/``frozenset``/
+    ``sorted`` over a comprehension, or building another set) are not
+    flagged.  This rule runs over the simulator sources
+    (:func:`simulator_lint_targets`), not the kernel corpus.
 """
 
 from __future__ import annotations
 
 import ast
 from pathlib import Path
-from typing import Iterable, Optional
+from collections.abc import Iterable
 
 from repro.sanitize.findings import (
     KIND_CAS_UNCHECKED,
@@ -47,6 +58,7 @@ from repro.sanitize.findings import (
     KIND_RAW_ADDRESS,
     KIND_RELEASE_ON_DATA_STORE,
     KIND_UNBALANCED_BUCKETS,
+    KIND_UNORDERED_ITERATION,
     KIND_WAITLOAD_NOT_SYNC,
     SEVERITY_ERROR,
     SEVERITY_WARNING,
@@ -55,13 +67,28 @@ from repro.sanitize.findings import (
 
 KIND_WAITLOAD_DISCARDED = "waitload-result-discarded"
 
+#: The kernel-corpus rules (generator-program idioms).
+KERNEL_RULES = frozenset(
+    {
+        KIND_DISCARDED_RESULT,
+        KIND_CAS_UNCHECKED,
+        KIND_WAITLOAD_NOT_SYNC,
+        KIND_UNBALANCED_BUCKETS,
+        KIND_RELEASE_ON_DATA_STORE,
+        KIND_RAW_ADDRESS,
+        KIND_WAITLOAD_DISCARDED,
+    }
+)
+#: The simulator-source rules (determinism idioms).
+SIMULATOR_RULES = frozenset({KIND_UNORDERED_ITERATION})
+
 #: Ops whose result carries information the program normally needs.
 RESULT_OPS = {"Cas", "Fai", "Swap"}
 #: Ops taking an address as their first positional argument.
 ADDRESS_OPS = {"Load", "Store", "Cas", "Fai", "Swap", "WaitLoad"}
 
 
-def _call_op(node: ast.AST) -> Optional[tuple[str, ast.Call]]:
+def _call_op(node: ast.AST) -> tuple[str, ast.Call] | None:
     """(op name, call) when ``node`` is a call of a known ISA op."""
     if not isinstance(node, ast.Call):
         return None
@@ -77,21 +104,21 @@ def _call_op(node: ast.AST) -> Optional[tuple[str, ast.Call]]:
     return None
 
 
-def _yielded_call(node: ast.AST) -> Optional[tuple[str, ast.Call]]:
+def _yielded_call(node: ast.AST) -> tuple[str, ast.Call] | None:
     """(op name, call) when ``node`` is a ``yield <ISA op>(...)``."""
     if isinstance(node, ast.Yield) and node.value is not None:
         return _call_op(node.value)
     return None
 
 
-def _keyword(call: ast.Call, name: str) -> Optional[ast.expr]:
+def _keyword(call: ast.Call, name: str) -> ast.expr | None:
     for kw in call.keywords:
         if kw.arg == name:
             return kw.value
     return None
 
 
-def _is_literal(node: Optional[ast.expr], value) -> bool:
+def _is_literal(node: ast.expr | None, value) -> bool:
     return isinstance(node, ast.Constant) and node.value is value
 
 
@@ -226,31 +253,147 @@ class _FunctionLinter:
             )
 
     def _own_nodes(self):
-        """Walk the function's body without descending into nested defs
-        (lambdas are kept: predicates live there)."""
-        stack = list(ast.iter_child_nodes(self.func))
-        while stack:
-            node = stack.pop()
-            yield node
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                continue
-            stack.extend(ast.iter_child_nodes(node))
+        return _own_nodes(self.func)
 
 
-def lint_source(source: str, path: str = "<string>") -> list[Finding]:
-    """Lint one module's source text; returns its findings."""
+#: Functions whose set-typed result keeps the unordered nature explicit.
+_SET_MAKERS = {"set", "frozenset"}
+#: Set methods returning another set.
+_SET_METHODS = {"union", "intersection", "difference", "symmetric_difference"}
+#: Callables whose result does not depend on argument iteration order.
+_ORDER_INSENSITIVE = {
+    "sum", "min", "max", "any", "all", "len", "set", "frozenset", "sorted",
+}
+
+
+class _OrderLinter:
+    """Flags iteration over provably set-typed expressions in one function.
+
+    Set-typedness is decided purely locally: set displays/comprehensions,
+    ``set()``/``frozenset()`` calls, set operators with a provably-set
+    operand (``sharers - {core}`` is a set whatever ``sharers`` is — the
+    operator would raise otherwise), set-returning methods on a provable
+    receiver, and names assigned from any of those in the same function.
+    """
+
+    def __init__(self, path: str, func: ast.AST, findings: list[Finding]):
+        self.path = path
+        self.func = func
+        self.findings = findings
+        self.set_names: set[str] = set()
+
+    def run(self) -> None:
+        nodes = list(_own_nodes(self.func))
+        # Pass 1 (twice, for chained aliases): names assigned set-typed
+        # expressions anywhere in the function.
+        for _ in range(2):
+            for node in nodes:
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target = node.targets[0]
+                    if isinstance(target, ast.Name) and self._is_set(node.value):
+                        self.set_names.add(target.id)
+        parents = {
+            id(child): node
+            for node in nodes
+            for child in ast.iter_child_nodes(node)
+        }
+        for node in nodes:
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                self._check_iter(node.iter, node)
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                if self._order_insensitive_context(node, parents):
+                    continue
+                for comp in node.generators:
+                    self._check_iter(comp.iter, node)
+
+    def _order_insensitive_context(self, node: ast.AST, parents: dict) -> bool:
+        parent = parents.get(id(node))
+        return (
+            isinstance(parent, ast.Call)
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id in _ORDER_INSENSITIVE
+            and parent.args
+            and parent.args[0] is node
+        )
+
+    def _check_iter(self, iter_expr: ast.expr, node: ast.AST) -> None:
+        if not self._is_set(iter_expr):
+            return
+        line = getattr(node, "lineno", 0)
+        self.findings.append(
+            Finding(
+                kind=KIND_UNORDERED_ITERATION,
+                severity=SEVERITY_ERROR,
+                message=(
+                    "iteration over a set: the visit order depends on "
+                    "element hashes and insertion history, so any event "
+                    "sequence derived from it is nondeterministic — wrap "
+                    "the iterable in sorted(...)"
+                ),
+                site=f"{self.path}:{line}",
+                details={"file": self.path, "line": line,
+                         "function": getattr(self.func, "name", "<module>")},
+            )
+        )
+
+    def _is_set(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.set_names
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.Sub, ast.BitOr, ast.BitAnd, ast.BitXor)
+        ):
+            return self._is_set(node.left) or self._is_set(node.right)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in _SET_MAKERS:
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _SET_METHODS
+                and self._is_set(func.value)
+            ):
+                return True
+        return False
+
+
+def _own_nodes(func: ast.AST):
+    """Walk a function's body without descending into nested defs
+    (lambdas are kept: predicates live there)."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: frozenset | None = None,
+) -> list[Finding]:
+    """Lint one module's source text; returns its findings.
+
+    ``rules`` restricts which finding kinds run (default: the kernel
+    rules, preserving the historical behavior of this entry point).
+    """
+    rules = KERNEL_RULES if rules is None else rules
     findings: list[Finding] = []
     tree = ast.parse(source, filename=path)
     functions = [
         node for node in ast.walk(tree)
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
     ]
-    for func in functions:
-        _FunctionLinter(path, func, findings).run()
-    # Module-level code participates too (rare, but cheap to cover).
-    module_linter = _FunctionLinter(path, tree, findings)
-    module_linter.run()
-    return findings
+    scopes = functions + [tree]  # module-level code participates too
+    for scope in scopes:
+        if rules & KERNEL_RULES:
+            _FunctionLinter(path, scope, findings).run()
+        if KIND_UNORDERED_ITERATION in rules:
+            _OrderLinter(path, scope, findings).run()
+    return [f for f in findings if f.kind in rules]
 
 
 def _display_path(path: Path) -> str:
@@ -263,14 +406,16 @@ def _display_path(path: Path) -> str:
         return str(path)
 
 
-def lint_paths(paths: Iterable) -> tuple[list[Finding], list[str]]:
+def lint_paths(
+    paths: Iterable, rules: frozenset | None = None
+) -> tuple[list[Finding], list[str]]:
     """Lint every file; returns (findings, files linted)."""
     findings: list[Finding] = []
     linted: list[str] = []
     for path in paths:
         path = Path(path)
         display = _display_path(path)
-        findings.extend(lint_source(path.read_text(), display))
+        findings.extend(lint_source(path.read_text(), display, rules=rules))
         linted.append(display)
     return findings, linted
 
@@ -283,5 +428,17 @@ def default_lint_targets() -> list[Path]:
     root = Path(repro.__file__).resolve().parent
     targets: list[Path] = []
     for package in ("synclib", "workloads"):
+        targets.extend(sorted((root / package).glob("*.py")))
+    return targets
+
+
+def simulator_lint_targets() -> list[Path]:
+    """The determinism-rule corpus: every module of the simulator core —
+    the packages whose iteration order can reach the event sequence."""
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    targets: list[Path] = []
+    for package in ("sim", "protocols", "mem", "noc", "mc"):
         targets.extend(sorted((root / package).glob("*.py")))
     return targets

@@ -42,7 +42,6 @@ import tempfile
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.config import config_for_cores
 from repro.harness.parallel import ResultCache, RunSpec, kernel_cell
@@ -82,7 +81,7 @@ class ChaosConfig:
     max_retries: int = 3
     wait_timeout: float = 240.0
     #: result-cache directory; None uses a throwaway temp dir (cold cache).
-    cache_dir: Optional[str] = None
+    cache_dir: str | None = None
 
 
 @dataclass

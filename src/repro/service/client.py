@@ -22,7 +22,7 @@ from __future__ import annotations
 import http.client
 import json
 import time
-from typing import Iterable, Optional
+from collections.abc import Iterable
 
 from repro.harness.parallel import RunSpec
 from repro.service.specs import spec_to_dict
@@ -39,7 +39,7 @@ class ServiceError(RuntimeError):
     """
 
     def __init__(
-        self, status: int, message: str, retry_after: Optional[float] = None
+        self, status: int, message: str, retry_after: float | None = None
     ) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
@@ -65,7 +65,7 @@ class ServiceClient:
         self.retry_delay = retry_delay
         self._sleep = sleep
 
-    def _request_once(self, method: str, path: str, payload: Optional[dict] = None):
+    def _request_once(self, method: str, path: str, payload: dict | None = None):
         connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             body = None
@@ -93,7 +93,7 @@ class ServiceClient:
         finally:
             connection.close()
 
-    def _request(self, method: str, path: str, payload: Optional[dict] = None):
+    def _request(self, method: str, path: str, payload: dict | None = None):
         """One request with connection-error retries for idempotent GETs.
 
         ``http.client`` surfaces a dead or restarting server as
@@ -113,7 +113,7 @@ class ServiceClient:
                 self._sleep(delay)
                 delay = min(2.0, delay * 2)
 
-    def _json(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+    def _json(self, method: str, path: str, payload: dict | None = None) -> dict:
         _, raw = self._request(method, path, payload)
         return json.loads(raw)
 
@@ -127,7 +127,7 @@ class ServiceClient:
         return raw.decode()
 
     def submit_cells(
-        self, cells: list[dict], *, cell_deadline: Optional[float] = None
+        self, cells: list[dict], *, cell_deadline: float | None = None
     ) -> dict:
         payload: dict = {"cells": cells}
         if cell_deadline is not None:
@@ -135,7 +135,7 @@ class ServiceClient:
         return self._json("POST", "/jobs", payload)
 
     def submit_specs(
-        self, specs: Iterable[RunSpec], *, cell_deadline: Optional[float] = None
+        self, specs: Iterable[RunSpec], *, cell_deadline: float | None = None
     ) -> dict:
         return self.submit_cells(
             [spec_to_dict(spec) for spec in specs], cell_deadline=cell_deadline

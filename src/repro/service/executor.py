@@ -29,7 +29,7 @@ results into the cache instead of dropping them.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from collections.abc import Callable
 
 from repro.harness.parallel import ResultCache, RunSpec, resolve_jobs
 from repro.service.supervisor import (
@@ -47,14 +47,14 @@ class SweepExecutor:
     def __init__(
         self,
         *,
-        workers: Optional[int] = None,
-        cache: Optional[ResultCache] = None,
-        max_workers_cap: Optional[int] = None,
-        policy: Optional[RetryPolicy] = None,
-        default_deadline: Optional[float] = None,
+        workers: int | None = None,
+        cache: ResultCache | None = None,
+        max_workers_cap: int | None = None,
+        policy: RetryPolicy | None = None,
+        default_deadline: float | None = None,
         tick: float = 0.05,
         worker_fn=None,
-        on_counter: Optional[Callable[..., None]] = None,
+        on_counter: Callable[..., None] | None = None,
     ) -> None:
         self.workers = resolve_jobs(workers, cap=max_workers_cap)
         self.cache = cache

@@ -12,7 +12,6 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.harness.parallel import RunSpec
 from repro.service.specs import describe_workload
@@ -37,13 +36,13 @@ class JobCell:
     #: simulation), or ``cache`` (served from the on-disk result cache).
     source: str = "run"
     status: str = "queued"
-    summary: Optional[dict] = None
-    error: Optional[dict] = None
+    summary: dict | None = None
+    error: dict | None = None
     #: execution attempts the supervised cell took (0 for cache hits).
     attempts: int = 0
     #: the shared supervised task while in flight (None once settled or
     #: when the cell was a cache hit).
-    task: Optional[CellTask] = None
+    task: CellTask | None = None
 
     @property
     def effective_status(self) -> str:
@@ -122,7 +121,7 @@ class JobRegistry:
         self._jobs[job.id] = job
         return job
 
-    def get(self, job_id: str) -> Optional[Job]:
+    def get(self, job_id: str) -> Job | None:
         return self._jobs.get(job_id)
 
     def all(self) -> list[Job]:

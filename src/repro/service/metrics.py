@@ -9,7 +9,7 @@ exemplar, consumable by curl or a scraper alike.
 from __future__ import annotations
 
 import time
-from typing import Callable, Optional
+from collections.abc import Callable
 
 #: counter name -> help string; the fixed vocabulary keeps /metrics stable.
 COUNTERS = {
@@ -67,7 +67,10 @@ class ServiceMetrics:
         uptime = self.uptime
         return self.cells_completed() / uptime if uptime > 0 else 0.0
 
-    def snapshot(self, *, queue_depth: int = 0, running: int = 0, workers: Optional[dict] = None) -> dict:
+    def snapshot(
+        self, *, queue_depth: int = 0, running: int = 0,
+        workers: dict | None = None,
+    ) -> dict:
         return {
             "uptime_seconds": round(self.uptime, 3),
             "counters": dict(self.counts),
@@ -79,7 +82,7 @@ class ServiceMetrics:
             "workers": workers or {},
         }
 
-    def render(self, *, queue_depth: int = 0, running: int = 0, workers: Optional[dict] = None) -> str:
+    def render(self, *, queue_depth: int = 0, running: int = 0, workers: dict | None = None) -> str:
         """Prometheus text-exposition format (one scrape = one call)."""
         lines = []
 
@@ -114,7 +117,10 @@ class ServiceMetrics:
             self.cells_per_second(),
         )
         workers = workers or {}
-        emit("workers_configured", "gauge", "Worker processes configured", workers.get("configured", 0))
-        emit("workers_alive", "gauge", "Worker processes currently alive", workers.get("alive", 0))
-        emit("pool_broken", "gauge", "1 if the worker pool is broken", int(bool(workers.get("broken"))))
+        emit("workers_configured", "gauge", "Worker processes configured",
+         workers.get("configured", 0))
+        emit("workers_alive", "gauge", "Worker processes currently alive",
+         workers.get("alive", 0))
+        emit("pool_broken", "gauge", "1 if the worker pool is broken",
+         int(bool(workers.get("broken"))))
         return "\n".join(lines) + "\n"

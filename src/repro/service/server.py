@@ -31,7 +31,6 @@ from __future__ import annotations
 import asyncio
 import json
 import signal
-from typing import Optional
 
 from repro.harness.parallel import (
     ResultCache,
@@ -76,12 +75,12 @@ class SweepService:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
-        workers: Optional[int] = None,
-        cache: Optional[ResultCache] = None,
-        max_workers_cap: Optional[int] = None,
-        max_queued: Optional[int] = DEFAULT_MAX_QUEUED,
-        cell_deadline: Optional[float] = None,
-        policy: Optional[RetryPolicy] = None,
+        workers: int | None = None,
+        cache: ResultCache | None = None,
+        max_workers_cap: int | None = None,
+        max_queued: int | None = DEFAULT_MAX_QUEUED,
+        cell_deadline: float | None = None,
+        policy: RetryPolicy | None = None,
         tick: float = 0.05,
         worker_fn=None,
     ) -> None:
@@ -100,7 +99,7 @@ class SweepService:
             on_counter=self.metrics.bump,
         )
         self.registry = JobRegistry()
-        self._server: Optional[asyncio.base_events.Server] = None
+        self._server: asyncio.base_events.Server | None = None
         self._watchers: set[asyncio.Task] = set()
         self._draining = False
 
@@ -215,7 +214,7 @@ class SweepService:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> Optional[tuple[str, str, bytes]]:
+    ) -> tuple[str, str, bytes] | None:
         request_line = await reader.readline()
         if not request_line:
             return None
@@ -245,7 +244,7 @@ class SweepService:
         status: int,
         content_type: str,
         body: bytes,
-        extra_headers: Optional[dict[str, str]] = None,
+        extra_headers: dict[str, str] | None = None,
     ) -> None:
         reason = {200: "OK", 202: "Accepted", 400: "Bad Request",
                   404: "Not Found", 405: "Method Not Allowed",
@@ -411,10 +410,10 @@ def run_server(
     *,
     host: str = "127.0.0.1",
     port: int = 8642,
-    workers: Optional[int] = None,
-    cache: Optional[ResultCache] = None,
-    max_queued: Optional[int] = DEFAULT_MAX_QUEUED,
-    cell_deadline: Optional[float] = None,
+    workers: int | None = None,
+    cache: ResultCache | None = None,
+    max_queued: int | None = DEFAULT_MAX_QUEUED,
+    cell_deadline: float | None = None,
     max_retries: int = RetryPolicy.max_attempts,
     drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
     ready_message: bool = True,

@@ -50,7 +50,7 @@ import time
 from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Optional
+from collections.abc import Callable
 
 from repro.harness.parallel import CellError, RunSpec, execute_spec
 from repro.stats.collector import RunResult
@@ -125,8 +125,8 @@ class CellResolution:
     spec: RunSpec
     key: str
     attempts: int
-    result: Optional[RunResult] = None
-    error: Optional[dict] = None
+    result: RunResult | None = None
+    error: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -141,7 +141,7 @@ class CellTask:
     key: str
     #: wall-clock execution budget in seconds (None: unlimited), counted
     #: from the moment the start marker is first observed.
-    deadline: Optional[float]
+    deadline: float | None
     #: resolves to a :class:`CellResolution` on the terminal outcome only.
     outcome: asyncio.Future
     attempts: int = 0
@@ -149,13 +149,13 @@ class CellTask:
     failures: int = 0
     #: provable mid-execution worker deaths (drives the crash budget).
     crashes: int = 0
-    pool_future: Optional[Future] = None
-    marker: Optional[Path] = None
+    pool_future: Future | None = None
+    marker: Path | None = None
     #: monotonic time the current attempt's marker was first observed.
-    started_at: Optional[float] = None
+    started_at: float | None = None
     #: monotonic time at which a backoff wait ends and the cell re-dispatches.
-    retry_at: Optional[float] = None
-    last_error: Optional[CellError] = None
+    retry_at: float | None = None
+    last_error: CellError | None = None
 
     @property
     def phase(self) -> str:
@@ -184,12 +184,12 @@ class PoolSupervisor:
         self,
         *,
         workers: int,
-        policy: Optional[RetryPolicy] = None,
+        policy: RetryPolicy | None = None,
         tick: float = 0.05,
-        default_deadline: Optional[float] = None,
+        default_deadline: float | None = None,
         worker_fn: Callable[[RunSpec, str], RunResult] = execute_cell,
-        on_settle: Optional[Callable[[CellResolution], None]] = None,
-        on_counter: Optional[Callable[..., None]] = None,
+        on_settle: Callable[[CellResolution], None] | None = None,
+        on_counter: Callable[..., None] | None = None,
         clock: Callable[[], float] = time.monotonic,
         rng_seed: int = 0x5EED,
     ) -> None:
@@ -207,8 +207,8 @@ class PoolSupervisor:
         self._spool = Path(tempfile.mkdtemp(prefix="repro-sweep-spool-"))
         self._marker_ids = itertools.count(1)
         self._tasks: dict[str, CellTask] = {}
-        self._pool: Optional[ProcessPoolExecutor] = self._new_pool()
-        self._runner: Optional[asyncio.Task] = None
+        self._pool: ProcessPoolExecutor | None = self._new_pool()
+        self._runner: asyncio.Task | None = None
         self._closed = False
         #: lifetime counters, mirrored into /metrics via ``on_counter``.
         self.recycles = 0
@@ -287,7 +287,7 @@ class PoolSupervisor:
 
     # -- submission ----------------------------------------------------------
 
-    def get(self, key: str) -> Optional[CellTask]:
+    def get(self, key: str) -> CellTask | None:
         return self._tasks.get(key)
 
     def submit(self, spec: RunSpec, key: str, *, deadline=_USE_DEFAULT) -> CellTask:
@@ -448,8 +448,8 @@ class PoolSupervisor:
         self,
         task: CellTask,
         *,
-        result: Optional[RunResult] = None,
-        error: Optional[dict] = None,
+        result: RunResult | None = None,
+        error: dict | None = None,
     ) -> None:
         if task.outcome.done():
             return

@@ -37,7 +37,7 @@ outlive the firing.
 from __future__ import annotations
 
 from heapq import heapify, heappop, heappush
-from typing import Callable, Optional
+from collections.abc import Callable
 
 #: Sentinel ``arg`` meaning "invoke the callback with no argument".
 _NO_ARG = object()
@@ -142,7 +142,7 @@ class Simulator:
         self._drain_time = -1
         self._drain_pos = 0
         # Cached by _peek for the immediately following _take.
-        self._found: Optional[tuple] = None
+        self._found: tuple | None = None
         self.now = 0
         #: Cycle of the most recent *architectural* progress.  Cores stamp
         #: this every time an operation retires; the liveness watchdog
@@ -319,7 +319,7 @@ class Simulator:
 
     # -- queue inspection ---------------------------------------------------
 
-    def _peek(self) -> Optional[list]:
+    def _peek(self) -> list | None:
         """Earliest live entry without consuming it (or None).
 
         Caches the entry's location for the :meth:`_take` that follows.
@@ -423,7 +423,7 @@ class Simulator:
         self._wheel_live -= 1
         return entry
 
-    def _pop_next(self, limit: Optional[int] = None) -> Optional[list]:
+    def _pop_next(self, limit: int | None = None) -> list | None:
         """Consume and return the earliest live entry, or None.
 
         The one-call hot path behind :meth:`run` and :meth:`step`: same
@@ -559,7 +559,7 @@ class Simulator:
             self._free.append(entry)
         return True
 
-    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+    def run(self, until: int | None = None, max_events: int | None = None) -> int:
         """Run events until the queue drains (or limits hit); return event count.
 
         ``until`` stops the simulation once the next event lies beyond that

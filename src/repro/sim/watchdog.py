@@ -29,7 +29,9 @@ of a percent of the event-dispatch cost.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Sequence
+from collections.abc import Sequence
+
+from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sim <- harness)
     from repro.harness.diagnostics import DiagnosticDump
@@ -52,7 +54,7 @@ class HangError(RuntimeError):
     so an unhandled hang prints a full diagnosis, not just a one-liner.
     """
 
-    def __init__(self, message: str, dump: Optional["DiagnosticDump"] = None):
+    def __init__(self, message: str, dump: DiagnosticDump | None = None):
         self.dump = dump
         if dump is not None:
             message = f"{message}\n{dump.render()}"
@@ -78,8 +80,8 @@ class Watchdog:
         cores: Sequence,
         protocol,
         *,
-        window: Optional[int] = DEFAULT_PROGRESS_WINDOW,
-        max_cycles: Optional[int] = None,
+        window: int | None = DEFAULT_PROGRESS_WINDOW,
+        max_cycles: int | None = None,
         check_interval: int = DEFAULT_CHECK_INTERVAL,
     ) -> None:
         if check_interval < 1:
@@ -132,7 +134,7 @@ class Watchdog:
 
     # -- diagnostics ---------------------------------------------------------
 
-    def _dump(self, reason: str) -> "DiagnosticDump":
+    def _dump(self, reason: str) -> DiagnosticDump:
         # Imported lazily: the sim layer must stay importable without the
         # harness, and dumps are only built on the failure path.
         from repro.harness.diagnostics import build_dump

@@ -14,8 +14,6 @@ the entire point of the algorithm).
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.cpu.isa import Fai, Store, WaitLoad
 from repro.cpu.thread import ThreadCtx
 from repro.mem.regions import RegionAllocator
@@ -41,7 +39,7 @@ class ArrayLock:
         """Initial memory image: slot 0 starts open."""
         return {self.flags[0]: FLAG_GO}
 
-    def acquire(self, ctx: Optional[ThreadCtx] = None):
+    def acquire(self, ctx: ThreadCtx | None = None):
         """Generator: returns the acquired slot index (pass to release)."""
         ticket = yield Fai(self.tail)
         slot = ticket % self.nslots

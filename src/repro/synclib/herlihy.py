@@ -50,7 +50,7 @@ class _VersionedObject:
             f"{name}.versions", block_words, line_align=True
         ).base
         self._pools = []
-        for thread in range(nthreads):
+        for _thread in range(nthreads):
             pool = [
                 allocator.alloc(f"{name}.versions", block_words, line_align=True).base
                 for _ in range(blocks_per_thread + 1)

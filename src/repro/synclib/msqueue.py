@@ -49,7 +49,7 @@ class MichaelScottQueue:
         # line, as real implementations pad to avoid false sharing.
         self.dummy = allocator.alloc(f"{name}.values", self.NODE_WORDS, line_align=True).base
         self._pools = []
-        for thread in range(nthreads):
+        for _thread in range(nthreads):
             pool = [
                 allocator.alloc(f"{name}.values", self.NODE_WORDS, line_align=True).base
                 for _ in range(nodes_per_thread + 1)

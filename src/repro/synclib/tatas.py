@@ -12,8 +12,6 @@ supports the paper's section 7.1.1 sensitivity study.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.cpu.isa import Store, Swap, WaitLoad
 from repro.cpu.thread import ThreadCtx
 from repro.mem.regions import RegionAllocator
@@ -35,7 +33,7 @@ class TatasLock:
         self.addr = allocator.alloc_sync(name).base
         self.software_backoff = software_backoff
 
-    def acquire(self, ctx: Optional[ThreadCtx] = None):
+    def acquire(self, ctx: ThreadCtx | None = None):
         """Generator: spin until the lock is acquired."""
         attempt = 0
         while True:

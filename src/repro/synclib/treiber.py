@@ -37,7 +37,7 @@ class TreiberStack:
         self.top = allocator.alloc_sync(f"{name}.top").base
         self.nodes = allocator.region(f"{name}.nodes")
         self._pools = []
-        for thread in range(nthreads):
+        for _thread in range(nthreads):
             pool = [
                 allocator.alloc(f"{name}.nodes", self.NODE_WORDS, line_align=True).base
                 for _ in range(nodes_per_thread + 1)

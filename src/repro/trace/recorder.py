@@ -10,7 +10,7 @@ recorded — they are re-issues of the same access).
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, Optional
+from collections.abc import Callable
 
 from repro.mem.regions import Region
 from repro.protocols.base import Access, CoherenceProtocol
@@ -130,7 +130,7 @@ class TracingProtocol:
         self,
         core_id: int,
         addr: int,
-        fn: Callable[[int], Optional[int]],
+        fn: Callable[[int], int | None],
         release: bool = False,
         ticketed: bool = False,
         acquire: bool = False,

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import permutations
-from typing import Iterable, Optional
+from collections.abc import Iterable
 
 from repro.config import SystemConfig, config_for_cores
 from repro.mem.l1 import DeNovoState, MesiState
@@ -102,7 +102,7 @@ def _interleavings(lengths: list[int]) -> Iterable[tuple[int, ...]]:
 def explore_protocol(
     protocol_name: str,
     programs: list[list[Op]],
-    config: Optional[SystemConfig] = None,
+    config: SystemConfig | None = None,
     max_interleavings: int = 5000,
 ) -> VerificationReport:
     """Exhaustively check ``programs`` under ``protocol_name``.

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.config import SystemConfig
 from repro.cpu.isa import Compute, Load, PopBucket, PushBucket, SelfInvalidate, Store, WaitLoad
@@ -73,7 +72,7 @@ class AppProfile:
     #: words (high reuse).  Reuse is what conservative self-invalidation
     #: destroys, so fluidanimate-style apps set this together with
     #: ``selfinv_whole_shared``.
-    shared_window: Optional[int] = None
+    shared_window: int | None = None
     #: The section 3 no-information fallback: self-invalidate *everything*
     #: (not just the protected regions) at every acquire and phase
     #: boundary.  Always correct, maximally conservative.
@@ -213,7 +212,7 @@ class _AppShared:
     lock_regions: list
     lock_data: list[int]
     barrier: TreeBarrier
-    pipeline: Optional["_PipelinePlumbing"]
+    pipeline: "_PipelinePlumbing" | None
 
 
 def _phase_work(ctx: ThreadCtx, app: _AppShared, accesses: int):

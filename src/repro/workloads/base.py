@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Generator, Iterable, Optional
+from collections.abc import Generator, Iterable
 
 from repro.config import SystemConfig
 from repro.cpu.isa import Compute, PopBucket, PushBucket
@@ -90,7 +90,7 @@ class KernelWorkload(Workload):
     thread).  The driver adds the dummy compute and the end barrier.
     """
 
-    def __init__(self, spec: Optional[KernelSpec] = None):
+    def __init__(self, spec: KernelSpec | None = None):
         self.spec = spec or KernelSpec()
 
     @abstractmethod

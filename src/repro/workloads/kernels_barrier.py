@@ -11,7 +11,7 @@ stragglers.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from collections.abc import Iterable
 
 from repro.config import SystemConfig
 from repro.cpu.isa import Compute
@@ -31,7 +31,7 @@ class BarrierKernel(KernelWorkload):
         self,
         barrier_type: str = "tree",
         unbalanced: bool = False,
-        spec: Optional[KernelSpec] = None,
+        spec: KernelSpec | None = None,
     ):
         spec = spec or KernelSpec()
         spec.unbalanced = unbalanced
@@ -72,7 +72,7 @@ def barrier_kernel_names() -> list[str]:
     return names
 
 
-def make_barrier_kernel(name: str, spec: Optional[KernelSpec] = None) -> BarrierKernel:
+def make_barrier_kernel(name: str, spec: KernelSpec | None = None) -> BarrierKernel:
     unbalanced = name.endswith(" (UB)")
     barrier_type = name[: -len(" (UB)")] if unbalanced else name
     return BarrierKernel(barrier_type, unbalanced=unbalanced, spec=spec)

@@ -13,7 +13,7 @@ lock-based kernels.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from collections.abc import Iterable
 
 from repro.config import SystemConfig
 from repro.cpu.isa import Load, SelfInvalidate, Store
@@ -66,7 +66,7 @@ class LockKernel(KernelWorkload):
     def __init__(
         self,
         lock_type: str = "tatas",
-        spec: Optional[KernelSpec] = None,
+        spec: KernelSpec | None = None,
         software_backoff: bool = False,
     ):
         super().__init__(spec)
@@ -181,7 +181,7 @@ class LargeCSKernel(LockKernel):
     def __init__(
         self,
         lock_type: str = "tatas",
-        spec: Optional[KernelSpec] = None,
+        spec: KernelSpec | None = None,
         software_backoff: bool = False,
         cs_words: int = LARGE_CS_WORDS,
     ):

@@ -12,7 +12,7 @@ versions with fewer equality checks that section 7.1.3 evaluates.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from collections.abc import Iterable
 
 from repro.config import SystemConfig
 from repro.cpu.thread import ThreadCtx
@@ -35,7 +35,7 @@ class NonBlockingKernel(KernelWorkload):
     base_name = "abstract"
 
     def __init__(
-        self, spec: Optional[KernelSpec] = None, software_backoff: bool = True
+        self, spec: KernelSpec | None = None, software_backoff: bool = True
     ):
         super().__init__(spec)
         self.software_backoff = software_backoff
@@ -96,7 +96,7 @@ class HerlihyStackKernel(NonBlockingKernel):
 
     def __init__(
         self,
-        spec: Optional[KernelSpec] = None,
+        spec: KernelSpec | None = None,
         software_backoff: bool = True,
         reduced_checks: bool = True,
     ):
@@ -124,7 +124,7 @@ class HerlihyHeapKernel(NonBlockingKernel):
 
     def __init__(
         self,
-        spec: Optional[KernelSpec] = None,
+        spec: KernelSpec | None = None,
         software_backoff: bool = True,
         reduced_checks: bool = True,
     ):
@@ -154,7 +154,7 @@ class FaiCounterKernel(NonBlockingKernel):
     base_name = "FAI counter"
 
     def __init__(
-        self, spec: Optional[KernelSpec] = None, software_backoff: bool = True
+        self, spec: KernelSpec | None = None, software_backoff: bool = True
     ):
         spec = spec or KernelSpec(iterations=PAPER_ITERATIONS_FAI)
         super().__init__(spec, software_backoff)

@@ -19,7 +19,7 @@ off the counters.
 from __future__ import annotations
 
 import random
-from typing import Generator
+from collections.abc import Generator
 
 from repro.config import SystemConfig
 from repro.cpu.isa import Compute, Load, SelfInvalidate, Store, WaitLoad
@@ -102,7 +102,7 @@ class ReadOnlySharing(_MicroBase):
 
     def body(self, ctx, state):
         block = state["block"]
-        for round_no in range(self.rounds):
+        for _round_no in range(self.rounds):
             for offset in range(self.BLOCK_WORDS):
                 yield Load(block + offset)
             yield Compute(50)
@@ -119,7 +119,7 @@ class FalseSharingMicro(_MicroBase):
 
     def body(self, ctx, state):
         mine = state["base"] + ctx.core_id
-        for round_no in range(self.rounds):
+        for _round_no in range(self.rounds):
             value = yield Load(mine)
             yield Store(mine, value + 1)
             yield Compute(20)

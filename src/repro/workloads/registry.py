@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.workloads.base import KernelSpec, Workload
 from repro.workloads.kernels_barrier import barrier_kernel_names, make_barrier_kernel
 from repro.workloads.kernels_lock import LOCK_KERNELS
@@ -11,7 +9,7 @@ from repro.workloads.kernels_nonblocking import NONBLOCKING_KERNELS
 
 
 def make_kernel(
-    figure: str, name: str, spec: Optional[KernelSpec] = None, **kwargs
+    figure: str, name: str, spec: KernelSpec | None = None, **kwargs
 ) -> Workload:
     """Build one kernel by (figure, bar-name).
 

@@ -151,7 +151,10 @@ class TestWaitPolling:
     def test_poll_backoff_grows_and_caps(self, sleeps):
         client = make_client(0, sleeps)
         statuses = iter(["running"] * 6 + ["done"])
-        client.job = lambda job_id: {"status": next(statuses), "counts": {}}
+        def fake_job(job_id):
+            return {"status": next(statuses), "counts": {}}
+
+        client.job = fake_job
 
         result = client.wait("j0001", timeout=600, poll=0.1, max_poll=0.3)
         assert result["status"] == "done"
@@ -164,6 +167,9 @@ class TestWaitPolling:
 
     def test_wait_times_out_with_informative_error(self, sleeps):
         client = make_client(0, sleeps)
-        client.job = lambda job_id: {"status": "running", "counts": {"queued": 1}}
+        def fake_job(job_id):
+            return {"status": "running", "counts": {"queued": 1}}
+
+        client.job = fake_job
         with pytest.raises(TimeoutError, match="still running"):
             client.wait("j0001", timeout=0.0, poll=0.01)

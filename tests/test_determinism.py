@@ -18,7 +18,8 @@ def run_twice(make, protocol, seed):
 @pytest.mark.parametrize("protocol", ["MESI", "DeNovoSync0", "DeNovoSync"])
 class TestKernelDeterminism:
     def test_same_seed_same_result(self, protocol):
-        make = lambda: make_kernel("tatas", "counter", spec=KernelSpec(scale=0.05))
+        def make():
+            return make_kernel("tatas", "counter", spec=KernelSpec(scale=0.05))
         a, b = run_twice(make, protocol, seed=7)
         assert a.cycles == b.cycles
         assert a.total_traffic == b.total_traffic
@@ -26,16 +27,18 @@ class TestKernelDeterminism:
         assert a.counters.as_dict() == b.counters.as_dict()
 
     def test_different_seeds_differ(self, protocol):
-        make = lambda: make_kernel("tatas", "counter", spec=KernelSpec(scale=0.05))
+        def make():
+            return make_kernel("tatas", "counter", spec=KernelSpec(scale=0.05))
         a = run_workload(make(), protocol, config_16(), seed=7)
         b = run_workload(make(), protocol, config_16(), seed=8)
         # Dummy-compute windows are random, so cycle counts should move.
         assert a.cycles != b.cycles
 
     def test_nonblocking_kernel_deterministic(self, protocol):
-        make = lambda: make_kernel(
-            "nonblocking", "M-S queue", spec=KernelSpec(scale=0.05)
-        )
+        def make():
+            return make_kernel(
+                "nonblocking", "M-S queue", spec=KernelSpec(scale=0.05)
+            )
         a, b = run_twice(make, protocol, seed=9)
         assert a.cycles == b.cycles
         assert a.total_traffic == b.total_traffic

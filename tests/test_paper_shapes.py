@@ -196,7 +196,8 @@ class TestAblationShapes:
         def ds0_stat(figure_result, fn):
             return sum(fn(r.results["DeNovoSync0"]) for r in figure_result.rows)
 
-        steals = lambda res: res.counters.get("read_registration_steals")
+        def steals(res):
+            return res.counters.get("read_registration_steals")
         assert ds0_stat(results["sw backoff"], steals) < ds0_stat(
             results["no backoff"], steals
         )

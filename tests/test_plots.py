@@ -35,7 +35,7 @@ class TestRender:
     def test_time_bars_mesi_full_width(self, figure):
         out = io.StringIO()
         render_time_bars(figure, out, width=40)
-        lines = [l for l in out.getvalue().splitlines() if "|" in l]
+        lines = [ln for ln in out.getvalue().splitlines() if "|" in ln]
         assert len(lines) == len(KERNEL_PROTOCOLS)
         mesi_bar = lines[0].split("|")[1]
         assert len(mesi_bar) == pytest.approx(40, abs=1)
@@ -43,7 +43,7 @@ class TestRender:
     def test_traffic_bars_denovo_shorter(self, figure):
         out = io.StringIO()
         render_traffic_bars(figure, out, width=40)
-        lines = [l for l in out.getvalue().splitlines() if "|" in l]
+        lines = [ln for ln in out.getvalue().splitlines() if "|" in ln]
         mesi = len(lines[0].split("|")[1])
         denovo = len(lines[KERNEL_PROTOCOLS.index("DeNovoSync")].split("|")[1])
         assert denovo < mesi

@@ -43,11 +43,14 @@ from repro.sanitize.findings import (
     Finding,
     Report,
 )
+from repro.sanitize.findings import KIND_UNORDERED_ITERATION
 from repro.sanitize.lint import (
     KIND_WAITLOAD_DISCARDED,
+    SIMULATOR_RULES,
     default_lint_targets,
     lint_paths,
     lint_source,
+    simulator_lint_targets,
 )
 from repro.sim.engine import Simulator
 from repro.synclib.locked_structures import EMPTY, DoubleLockQueue
@@ -512,6 +515,73 @@ def test_shipped_lint_corpus_has_no_errors():
     errors = [f for f in findings if f.severity == SEVERITY_ERROR]
     assert errors == []
     assert len(linted) >= 10
+
+
+# ---------------------------------------------------------------------------
+# The unordered-iteration determinism rule (simulator sources).
+# ---------------------------------------------------------------------------
+
+
+def _order_kinds(source):
+    return _kinds(lint_source(source, rules=SIMULATOR_RULES))
+
+
+def test_unordered_iteration_flags_set_sources():
+    for body in (
+        "    for t in {1, 2, 3}:\n        f(t)\n",
+        "    s = set(xs)\n    for t in s:\n        f(t)\n",
+        "    targets = sharers - {core}\n    for t in targets:\n        f(t)\n",
+        "    [f(t) for t in sharers | {core}]\n",
+    ):
+        source = "def run(sharers, core, xs, f):\n" + body
+        assert _order_kinds(source) == [KIND_UNORDERED_ITERATION], body
+
+
+def test_unordered_iteration_sanctions_sorted_wrapper():
+    source = (
+        "def run(sharers, core, f):\n"
+        "    targets = sharers - {core}\n"
+        "    for t in sorted(targets):\n"
+        "        f(t)\n"
+    )
+    assert _order_kinds(source) == []
+
+
+def test_unordered_iteration_exempts_order_insensitive_consumers():
+    source = (
+        "def run(targets, rtt):\n"
+        "    targets = targets & {1, 2}\n"
+        "    worst = max(rtt(t) for t in targets)\n"
+        "    count = sum(1 for t in targets)\n"
+        "    others = {t + 1 for t in targets}\n"
+        "    return worst, count, others\n"
+    )
+    assert _order_kinds(source) == []
+
+
+def test_unordered_iteration_only_runs_on_simulator_rules():
+    source = "def run(f):\n    for t in {1, 2}:\n        f(t)\n"
+    assert lint_source(source) == []  # kernel rules: not in scope
+
+
+def test_simulator_corpus_has_no_unordered_iteration():
+    findings, linted = lint_paths(simulator_lint_targets(), rules=SIMULATOR_RULES)
+    assert findings == []
+    assert len(linted) >= 20
+
+
+def test_rebroken_mesi_invalidation_fanout_is_flagged():
+    """Unwrapping the sorted() around MESI's invalidation fan-out must
+    re-trigger the rule (regression guard for the shipped fix)."""
+    import repro.protocols.mesi as mesi_mod
+
+    source = open(mesi_mod.__file__).read()
+    fixed = "for target in sorted(targets):"
+    assert fixed in source
+    rebroken = source.replace(fixed, "for target in targets:")
+    findings = lint_source(rebroken, "mesi.py", rules=SIMULATOR_RULES)
+    assert _kinds(findings) == [KIND_UNORDERED_ITERATION]
+    assert all(f.details["function"] == "_obtain_modified" for f in findings)
 
 
 # ---------------------------------------------------------------------------

@@ -43,7 +43,8 @@ class TestRecorder:
         assert sorted(r.value for r in rmws) == list(range(1, len(rmws) + 1))
 
     def test_tracing_does_not_change_timing(self):
-        make = lambda: make_kernel("tatas", "counter", spec=KernelSpec(scale=0.05))
+        def make():
+            return make_kernel("tatas", "counter", spec=KernelSpec(scale=0.05))
         plain = run_workload(make(), "DeNovoSync", config_16(), seed=2)
         traced = run_workload(make(), "DeNovoSync", config_16(), seed=2, trace=True)
         assert plain.cycles == traced.cycles
