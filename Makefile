@@ -55,7 +55,7 @@ bench:
 # Engine/dispatch microbenchmarks with the committed-baseline gate
 # (exact event counts + throughput floor; see benchmarks/bench_engine_micro.py).
 bench-micro:
-	$(PYTHON) benchmarks/bench_engine_micro.py --compare results/bench_baseline.json
+	$(PYTHON) benchmarks/bench_engine_micro.py --compare results/bench_baseline.json --strict-counts
 
 # cProfile one workload end to end, e.g.:
 #   make profile WORKLOAD=tatas/counter PROTO=DeNovoSync CORES=64

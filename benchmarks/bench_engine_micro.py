@@ -21,8 +21,14 @@ Each scenario reports two things:
 The scenarios stress the hybrid scheduler's distinct regimes: a serial
 hand-off chain (wheel fast path), a fan-out mixing near deltas with
 beyond-window deltas (wheel + heap interplay and migration), a cancel
-storm (tombstone compaction on both sides), and one real kernel run
-(the end-to-end number the engine work was for).
+storm (tombstone compaction on both sides), one real kernel run (the
+end-to-end number the engine work was for), plus the epoch-execution
+regimes: independent per-core chains (batched drain), a 64-core Neat
+spin-heavy kernel (spin fast-forward), and its epoch-off control —
+whose deterministic count must match the epoch-on twin exactly, checked
+on every run.  ``--compare --strict-counts`` additionally fails when any
+scenario lacks a baseline entry, so count gating covers new and existing
+scenarios alike.
 """
 
 from __future__ import annotations
@@ -107,12 +113,57 @@ def _kernel_ops():
     return result.cycles, perf_counter() - start
 
 
+def _uncontended_stretch(cores: int = 32, steps: int = 4_000):
+    """Independent per-core local chains, all one cycle apart: the pure
+    batched-drain regime of the epoch loop (every cycle's bucket holds
+    one event per core, no heap traffic)."""
+    sim = Simulator()
+    remaining = [steps] * cores
+
+    def step(core):
+        left = remaining[core]
+        if left > 0:
+            remaining[core] = left - 1
+            sim.call_after(1, step, core)
+
+    for core in range(cores):
+        sim.call_after(core % 7, step, core)
+    start = perf_counter()
+    fired = sim.run()
+    return fired, perf_counter() - start
+
+
+def _spin_heavy(epoch_mode: bool):
+    """Neat's 64-core unbounded central barrier: 90%+ of its events are
+    failed spin polls of LLC-resident flags, the spin fast-forward's
+    target regime.  The epoch-off twin is the control: its cycle count
+    must match exactly (main() enforces this every run)."""
+    from repro.config import config_for_cores
+    from repro.harness.runner import run_workload
+    from repro.workloads.base import KernelSpec
+    from repro.workloads.registry import make_kernel
+
+    workload = make_kernel("barrier", "central (UB)", spec=KernelSpec(scale=0.02))
+    start = perf_counter()
+    result = run_workload(
+        workload, "Neat", config_for_cores(64, epoch_mode=epoch_mode), seed=1
+    )
+    return result.cycles, perf_counter() - start
+
+
 SCENARIOS = {
     "pingpong": (_pingpong, "events"),
     "fanout_mix": (_fanout_mix, "events"),
     "cancel_churn": (_cancel_churn, "events"),
     "kernel_tatas_16c": (_kernel_ops, "cycles"),
+    "uncontended_stretch": (_uncontended_stretch, "events"),
+    "spin_heavy_64c": (lambda: _spin_heavy(True), "cycles"),
+    "spin_heavy_64c_noepoch": (lambda: _spin_heavy(False), "cycles"),
 }
+
+#: Scenario pairs that simulate the same cell in both engine modes:
+#: their deterministic counts must agree exactly, every run.
+MODE_TWINS = [("spin_heavy_64c", "spin_heavy_64c_noepoch")]
 
 
 def run_all() -> dict:
@@ -136,13 +187,25 @@ def _baseline_scenarios(path: str) -> dict:
     return data["micro"]["scenarios"]
 
 
-def compare(results: dict, baseline_path: str, tolerance: float) -> int:
+def compare(
+    results: dict,
+    baseline_path: str,
+    tolerance: float,
+    strict_counts: bool = False,
+) -> int:
     baseline = _baseline_scenarios(baseline_path)
     failures = []
     for name, got in results.items():
         ref = baseline.get(name)
         if ref is None:
-            print(f"{name:18s} (no baseline entry; recorded only)")
+            if strict_counts:
+                failures.append(
+                    f"{name}: no baseline entry — record its count in the "
+                    f"baseline (--strict-counts gates every scenario)"
+                )
+                print(f"{name:22s} (no baseline entry)  MISSING")
+            else:
+                print(f"{name:22s} (no baseline entry; recorded only)")
             continue
         if got["count"] != ref["count"]:
             failures.append(
@@ -159,7 +222,7 @@ def compare(results: dict, baseline_path: str, tolerance: float) -> int:
         else:
             status = "ok"
         print(
-            f"{name:18s} {got['count']:>10d} {got['unit']:6s} "
+            f"{name:22s} {got['count']:>10d} {got['unit']:6s} "
             f"{got['rate']:>10d}/s (baseline {ref['rate']:>10d}/s)  {status}"
         )
     if failures:
@@ -183,21 +246,41 @@ def main(argv=None) -> int:
         "--tolerance", type=float, default=0.2,
         help="minimum acceptable fraction of the baseline rate (default 0.2)",
     )
+    parser.add_argument(
+        "--strict-counts", action="store_true",
+        help="with --compare: also fail when a scenario has no baseline "
+        "entry — every deterministic count field is gated, new and "
+        "existing scenarios alike",
+    )
     args = parser.parse_args(argv)
 
     results = run_all()
     for name, row in results.items():
         print(
-            f"{name:18s} {row['count']:>10d} {row['unit']:6s} "
+            f"{name:22s} {row['count']:>10d} {row['unit']:6s} "
             f"in {row['seconds']:8.3f}s = {row['rate']:>10d}/s"
         )
+    twin_failures = [
+        f"{a} vs {b}: {results[a]['count']} != {results[b]['count']} — "
+        "epoch and reference modes diverged on the same cell"
+        for a, b in MODE_TWINS
+        if results[a]["count"] != results[b]["count"]
+    ]
+    if twin_failures:
+        print("\nepoch/reference mode twin check FAILED:")
+        for failure in twin_failures:
+            print(f"  - {failure}")
+        return 1
     if args.json:
         with open(args.json, "w") as fh:
             json.dump({"scenarios": results}, fh, indent=1, sort_keys=True)
             fh.write("\n")
         print(f"results -> {args.json}")
     if args.compare:
-        return compare(results, args.compare, args.tolerance)
+        return compare(
+            results, args.compare, args.tolerance,
+            strict_counts=args.strict_counts,
+        )
     return 0
 
 

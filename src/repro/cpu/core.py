@@ -98,6 +98,23 @@ class Core:
         self._rmw_state: tuple | None = None
         self._spin_op: isa.WaitLoad | None = None
         self._spin_retry_at = 0
+        # Spin fast-forward (epoch mode): a granted lease, flattened for
+        # the tick hot path as (expected value, re-poll period, counter
+        # keys, traffic row, flits/poll, messages/poll, ((time-component
+        # idx, cycles), ...)).  Armed in _spin_probe_issue, consumed by
+        # _lease_tick.  Eligibility is static per run: the reference
+        # engine path, any protocol wrapper (tracing, fault injection,
+        # which override set_time and so clear _fast_time), runtime
+        # invariant sampling, and backoff-capable protocols all disable
+        # leasing; a schedule controller is re-checked at arm time.
+        self._lease: tuple | None = None
+        self._lease_ok = (
+            sim.epoch_mode
+            and self._fast_time
+            and not self._has_backoff
+            and getattr(type(protocol), "spin_poll_lease", None)
+            is not CoherenceProtocol.spin_poll_lease
+        )
         # Callbacks prebound once so the hot path schedules (method, arg)
         # pairs instead of allocating a closure per operation.
         self._cb_step = self._step
@@ -109,6 +126,7 @@ class Core:
         self._cb_spin_probe_issue = self._spin_probe_issue
         self._cb_spin_retry = self._retry_spin_probe
         self._cb_on_invalidated = self._on_invalidated
+        self._cb_lease_tick = self._lease_tick
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -392,12 +410,80 @@ class Core:
             # protocol's wake callback can resume us.  This is the state
             # the PR-1 eviction bug stranded cores in.
             self.wait_reason = "spin-sleep (subscribed)"
-        else:
-            self.wait_reason = "spin-poll"
-            self._account(TimeComponent.COMPUTE, SPIN_LOOP_OVERHEAD)
-            self.sim.call_at(
-                retry_at + SPIN_LOOP_OVERHEAD, self._cb_spin_probe, op
-            )
+            return
+        self.wait_reason = "spin-poll"
+        self._account(TimeComponent.COMPUTE, SPIN_LOOP_OVERHEAD)
+        sim = self.sim
+        if self._lease_ok and op.sync and sim.controller is None:
+            lease = self.protocol.spin_poll_lease(self.core_id, op.addr)
+            if lease is not None:
+                lat = lease.latency
+                stack = self._bucket_stack
+                # Freeze the per-poll time accounting now: the stack
+                # cannot change while this core is blocked spinning.
+                # Mirrors _account_access(lat) + the loop-overhead
+                # compute cycle above.
+                if stack:
+                    acct = (
+                        (stack[-1].idx, max(lat, 0) + SPIN_LOOP_OVERHEAD),
+                    )
+                elif lat > 1:
+                    acct = (
+                        (_IDX_COMPUTE, 1 + SPIN_LOOP_OVERHEAD),
+                        (_IDX_MEMORY_STALL, lat - 1),
+                    )
+                else:
+                    acct = (
+                        (_IDX_COMPUTE, max(lat, 0) + SPIN_LOOP_OVERHEAD),
+                    )
+                self._lease = (
+                    access.value,
+                    lat + SPIN_LOOP_OVERHEAD,
+                    lease.counts,
+                    lease.traffic_idx,
+                    lease.flits,
+                    lease.messages,
+                    acct,
+                )
+                self.wait_reason = "spin-poll (leased)"
+                sim.call_at(
+                    retry_at + SPIN_LOOP_OVERHEAD, self._cb_lease_tick, op
+                )
+                return
+        sim.call_at(retry_at + SPIN_LOOP_OVERHEAD, self._cb_spin_probe, op)
+
+    def _lease_tick(self, op: isa.WaitLoad) -> None:
+        """One fast-forwarded spin poll under a granted lease.
+
+        Fires at exactly the cycle (and, because the successor is
+        scheduled from inside the same event, the sequence number) the
+        full probe would have occupied.  While the polled value is
+        unchanged the probe's outcome is a stateless repeat (the
+        :meth:`~repro.protocols.base.CoherenceProtocol.spin_poll_lease`
+        contract) — re-reading the value each tick keeps even an
+        A→B→A flip exact — so only the constant deltas are applied.  On
+        any change the full probe runs *inside this same event*,
+        which re-evaluates the predicate, resumes or re-arms, and keeps
+        the schedule byte-identical to the reference engine's.
+        """
+        lease = self._lease
+        protocol = self.protocol
+        if protocol._mem_get(op.addr, 0) != lease[0]:
+            self._lease = None
+            self._spin_probe(op)
+            return
+        counts = protocol._counts
+        for key in lease[2]:
+            counts[key] += 1
+        idx = lease[3]
+        protocol._tflits[idx] += lease[4]
+        protocol._tmsgs[idx] += lease[5]
+        tc = self._tc
+        for cidx, cycles in lease[6]:
+            tc[cidx] += cycles
+        sim = self.sim
+        sim._epoch_spin_elided += 1
+        sim.call_after(lease[1], self._cb_lease_tick, op)
 
     def _retry_spin_probe(self, op: isa.WaitLoad) -> None:
         self._spin_probe_issue(op, ticketed=True)

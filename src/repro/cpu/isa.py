@@ -92,7 +92,13 @@ class Swap:
 class WaitLoad:
     """Spin on (sync) loads of ``addr`` until ``pred(value)``; returns it.
 
-    ``acquire`` applies to the successful (predicate-passing) probe."""
+    ``acquire`` applies to the successful (predicate-passing) probe.
+
+    ``pred`` must be a *pure function of the loaded value* (capture loop
+    state through default arguments, as the synclib kernels do) — the
+    epoch engine's spin fast-forward re-evaluates it only when the polled
+    value changes, so a predicate reading ambient mutable state would
+    diverge from the reference per-event loop."""
 
     addr: int
     pred: Callable[[int], bool]

@@ -12,6 +12,15 @@ Two flavours, matching the two protocol families:
   is maintained at line granularity, as in the paper's hardware.
 
 Both caches are set-associative with LRU replacement within each set.
+
+Epoch-execution contract: every L1 mutation happens inside a protocol
+access method (a declared wake hook — see
+:meth:`repro.protocols.base.CoherenceProtocol.spin_poll_lease` and the
+``undeclared-wake-mutation`` sanitize rule).  A fast-forwarded spin poll
+never touches the L1: leases are only granted for polls that bypass it
+(Neat sync reads drop any cached copy and never refill it), so LRU order
+and line state are byte-identical whether the poll was simulated in full
+or closed-formed.
 """
 
 from __future__ import annotations

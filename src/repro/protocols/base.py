@@ -45,6 +45,36 @@ def _data_flits(payload_bytes: int) -> int:
     return flits
 
 
+@dataclass(frozen=True, slots=True)
+class SpinLease:
+    """Closed form of one *failed* sync spin poll, for spin fast-forward.
+
+    Granted by :meth:`CoherenceProtocol.spin_poll_lease` when repeated
+    failed polls of one spinner are *stateless repeats*: each poll
+    leaves every piece of protocol state exactly as it found it and
+    contributes only the constant deltas below.  While the polled
+    word's architectural value is unchanged the core then replaces each
+    full probe with a cheap *lease tick* at the same cycle (and, since
+    the tick schedules its successor exactly where the real probe
+    would, the same event sequence number): the tick re-reads the
+    value, applies the deltas, and re-arms — or, on a change, settles
+    by running the full probe in the very same event.  Results are
+    byte-identical to probing; only the Python work per poll shrinks.
+    """
+
+    #: Per-poll stall latency (constant while the lease holds); the
+    #: core derives the re-poll period from it.
+    latency: int
+    #: Protocol counter keys bumped by one per poll.
+    counts: tuple[str, ...]
+    #: Traffic ledger row (message-class index) the poll charges.
+    traffic_idx: int
+    #: Flit·hops added to that row per poll.
+    flits: int
+    #: Messages added to that row per poll.
+    messages: int
+
+
 @dataclass(slots=True)
 class Access:
     """Outcome of one memory operation.
@@ -251,6 +281,36 @@ class CoherenceProtocol(ABC):
         Returns False when no subscription is possible — re-probe instead.
         """
         return False
+
+    def spin_poll_lease(self, core_id: int, addr: int) -> SpinLease | None:
+        """Declare ``core_id``'s failed spin polls of ``addr`` quiescent.
+
+        Called right after a failed, unsubscribed sync spin probe.
+        Return a :class:`SpinLease` only when *every* further failed
+        poll of ``addr`` by this core is a stateless repeat of the one
+        that just ran — the quiescent-until-signaled contract:
+
+        * the poll mutates **no** protocol state (no cache fill or
+          eviction, no directory/registry transition, no backoff
+          counter) — its only effects are the lease's constant counter,
+          traffic, and latency deltas;
+        * its latency is constant (e.g. the word's home-bank round trip
+          with the line already LLC-resident);
+        * the polled value is ``memory._values[addr]``, and that entry
+          changes only through the protocol's *wake hooks* — the
+          declared mutation points (``load``/``store``/``rmw``/
+          ``sync_load``/``sync_store`` or a ``wake_hooks`` override;
+          the ``undeclared-wake-mutation`` sanitize rule enforces
+          this) — so re-reading it each tick observes exactly what the
+          full probe would.
+
+        Return None (the default) when any of this fails to hold; the
+        core then keeps issuing full probes.  Only polling protocols
+        (Neat) grant leases: subscription-based spinners (MESI, the
+        DeNovo registry, SynCron's sync units) park instead and their
+        probes are stateful.
+        """
+        return None
 
     # -- traffic helpers --------------------------------------------------------
 

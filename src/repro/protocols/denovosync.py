@@ -52,6 +52,12 @@ class DeNovoSyncProtocol(DeNovoSync0Protocol):
         registration was stolen by a remote sync read, i.e. observed
         contention.  Initial reads (Invalid) and hits (Registered) issue
         immediately.
+
+        Quiescence declaration (epoch mode): this per-poll backoff state
+        advance is itself a mutation, so on top of DeNovoSync0's
+        registration steals it makes DeNovoSync polls doubly
+        un-leasable; cores also disable leasing outright for any
+        backoff-capable protocol.
         """
         if self.l1s[core_id].state_of(addr, touch=False) is not DeNovoState.VALID:
             return 0

@@ -51,6 +51,12 @@ class DeNovoSync0Protocol(DeNovoBaseProtocol):
     # -- sync loads -----------------------------------------------------------
 
     def sync_load(self, core_id: int, addr: int) -> Access:
+        # Quiescence declaration (epoch mode): DeNovoSync polls are
+        # never leasable — a failed poll either hits a Registered copy
+        # (touches L1 LRU) or re-registers the word at the directory,
+        # stealing from the previous registrant (PAPER.md section 4).
+        # Both mutate cross-core-visible state, so spin_poll_lease stays
+        # the base None and every poll is simulated in full.
         l1 = self.l1s[core_id]
         counts = self._counts
         value = l1.registered_value(addr)

@@ -373,6 +373,12 @@ class MesiProtocol(CoherenceProtocol):
     def subscribe_line_change(
         self, core_id: int, addr: int, callback: Callable[[int], None]
     ) -> bool:
+        # Quiescence declaration (epoch mode): a MESI spinner with a
+        # cached copy sleeps here until the writer's invalidation wakes
+        # it — it never re-polls, so there is no poll stream to lease
+        # (spin_poll_lease stays the base None).  A spinner without a
+        # copy re-probes, but that probe refills the line: stateful, not
+        # a closed-formable repeat.
         line = self.amap.line_of(addr)
         if self.l1s[core_id].state_of(line, touch=False) is None:
             return False  # copy already invalidated; caller should re-probe

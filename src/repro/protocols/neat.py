@@ -38,7 +38,13 @@ from collections.abc import Callable
 from repro.mem.l1 import DeNovoL1, DeNovoState
 from repro.mem.regions import Region
 from repro.noc.messages import MessageClass
-from repro.protocols.base import Access, CoherenceProtocol
+from repro.protocols.base import (
+    _CONTROL_FLITS,
+    _data_flits,
+    Access,
+    CoherenceProtocol,
+    SpinLease,
+)
 from repro.protocols.invariants import neat_violations
 from repro.protocols.registry import register_protocol
 
@@ -196,6 +202,38 @@ class NeatProtocol(CoherenceProtocol):
         self.record_control(MessageClass.SYNCH, core_id, bank)
         self.record_data(MessageClass.SYNCH, bank, core_id, self._word_bytes)
         return Access(self._mem_get(addr, 0), latency, hit=False)
+
+    def spin_poll_lease(self, core_id: int, addr: int) -> SpinLease | None:
+        """Neat spinners poll the LLC; the failed polls are stateless.
+
+        After the first probe of a spin wait the polled word is Invalid
+        in the spinner's L1 (``_sync_access`` drops the copy and never
+        refills it) and its line is LLC-resident, so every further
+        failed poll repeats exactly: +1 ``sync_read_misses``, +1
+        ``l1_misses``, one SYNCH control/data round trip to the home
+        bank, and the warm home-bank latency.  Nothing else in the
+        protocol moves — no registry, no subscriptions, no backoff —
+        which is precisely the quiescent-until-signaled contract of
+        :meth:`~repro.protocols.base.CoherenceProtocol.spin_poll_lease`.
+        """
+        if self._pow2:
+            line = addr >> self._line_shift
+            bank = line & self._bank_mask
+        else:
+            line = self.amap.line_of(addr)
+            bank = self.amap.home_bank(line)
+        if line not in self._resident:
+            # The next poll would be a cold miss (can only happen if no
+            # probe ran yet); let the full probes handle it.
+            return None
+        hops = self._hops_flat[core_id * self._ntiles + bank]
+        return SpinLease(
+            latency=self._l2_flat[core_id * self._ntiles + bank],
+            counts=("sync_read_misses", "l1_misses"),
+            traffic_idx=MessageClass.SYNCH.idx,
+            flits=(_CONTROL_FLITS + _data_flits(self._word_bytes)) * hops,
+            messages=2,
+        )
 
     def rmw(
         self,

@@ -117,6 +117,18 @@ class SweepExecutor:
                 self.cache.store(resolution.spec, resolution.result)
             if self._on_counter is not None:
                 self._on_counter("cells_simulated", 1)
+                epoch = resolution.result.meta.get("epoch")
+                if epoch:
+                    self._on_counter("epoch_epochs", epoch["epochs"])
+                    self._on_counter(
+                        "epoch_events_batched", epoch["events_batched"]
+                    )
+                    self._on_counter(
+                        "epoch_spin_polls_elided", epoch["spin_polls_elided"]
+                    )
+                    self._on_counter(
+                        "epoch_fallbacks", sum(epoch["fallbacks"].values())
+                    )
 
     # -- introspection -------------------------------------------------------
 

@@ -120,6 +120,13 @@ class Simulator:
     #: cancelled entries outnumber live ones (see :meth:`_event_cancelled`).
     COMPACT_MIN_SIZE = 64
 
+    #: Epoch execution (see :meth:`_run_epoch`): batched advancement of
+    #: uncontended stretches.  On by default; the harness overrides it
+    #: from ``SystemConfig.epoch_mode`` (CLI ``--no-epoch``).  The firing
+    #: order is byte-identical either way — the flag only selects which
+    #: run loop walks the queue.
+    epoch_mode = True
+
     def __init__(self) -> None:
         size = self.WHEEL_SIZE
         # Instance copy of the class constant: the scheduling hot path
@@ -161,6 +168,13 @@ class Simulator:
         #: the interleaving of visible operations; normal runs leave it
         #: None and pay one attribute test per operation.
         self.controller = None
+        # Epoch-execution counters (see _run_epoch / epoch_stats).
+        # _epoch_spin_elided is bumped by cores when a spin fast-forward
+        # lease replaces a full spin probe with a closed-form tick.
+        self._epoch_epochs = 0
+        self._epoch_batched = 0
+        self._epoch_spin_elided = 0
+        self._epoch_fallbacks: dict[str, int] = {}
 
     # -- scheduling ---------------------------------------------------------
 
@@ -572,7 +586,14 @@ class Simulator:
         nothing and leaves the clock alone.  ``max_events`` bounds the
         number of fired events (a safety net against livelocked workloads)
         and raises without touching the clock.
+
+        With :attr:`epoch_mode` on (the default) the walk is delegated to
+        :meth:`_run_epoch`, which batches whole uncontended cycles;
+        firing order, limit semantics and the returned count are
+        identical either way.
         """
+        if self.epoch_mode:
+            return self._run_epoch(until, max_events)
         fired = 0
         watchdog = self.watchdog
         if watchdog is not None:
@@ -678,6 +699,233 @@ class Simulator:
         if until is not None and until > self.now:
             self.now = until
         return fired
+
+    def _run_epoch(self, until: int | None, max_events: int | None) -> int:
+        """Epoch run loop: batch-advance uncontended stretches of the queue.
+
+        One *epoch* is the drain of a single occupied wheel cycle whose
+        events are provably the global frontier — no overflow-heap event
+        can interleave.  The proof rests on two structural invariants:
+
+        * every live wheel entry lies in ``[now, now + WHEEL_SIZE)``, so
+          a bucket holds live entries of exactly one cycle and the next
+          occupied bucket pins the next event time ``t``;
+        * heap entries at a time ``t`` were necessarily scheduled while
+          ``t - now >= WHEEL_SIZE`` — i.e. strictly before any wheel
+          entry at ``t`` was scheduled — so their seqs are all smaller,
+          and anything pushed *during* the drain lands at
+          ``>= t + WHEEL_SIZE``.  Once the heap head is past ``t`` the
+          whole cycle belongs to the wheel.
+
+        Events therefore fire in exactly the canonical (cycle, seq)
+        order, but without re-entering :meth:`_pop_next` (bitmap scan,
+        heap tie-break, clock store) per event: the cycle is drained
+        inline.  ``self._drain_pos`` and the bucket length are re-read
+        after every callback — a cancel inside a callback can trigger
+        :meth:`_compact_wheel`, which rewrites the bucket in place and
+        resets the drain cursor.
+
+        When the frontier is *not* an uncontended wheel cycle the loop
+        falls back to a single :meth:`_pop_next` step and records the
+        cause: ``heap-due`` (an overflow event — backoff expiry,
+        watchdog horizon — interleaves the frontier) or ``heap-only``
+        (nothing live in the wheel at all; also the steady state of
+        :class:`ReferenceHeapSimulator`, which routes everything to the
+        heap and thereby keeps exercising the reference path even with
+        epoch mode on).
+
+        Semantics (``until`` clamp, ``max_events`` raise-only-when-a-
+        fireable-event-remains, watchdog polling every
+        ``check_interval`` fired events) match :meth:`run`'s general
+        loop exactly.
+        """
+        fired = 0
+        batched = 0
+        epochs = 0
+        watchdog = self.watchdog
+        check_interval = countdown = 0
+        if watchdog is not None:
+            check_interval = watchdog.check_interval
+            if check_interval < 1:
+                raise ValueError(
+                    f"watchdog check_interval must be >= 1, got {check_interval!r}"
+                )
+            countdown = check_interval
+        free = self._free
+        heap = self._heap
+        wheel = self._wheel
+        mask = self._wheel_mask
+        pop_next = self._pop_next
+        fallbacks = self._epoch_fallbacks
+        try:
+            while True:
+                while heap and heap[0][2] is None:
+                    e = heappop(heap)
+                    if e[5] & _F_RECYCLABLE:  # pragma: no cover - defensive
+                        free.append(e)
+                # Locate the next occupied wheel cycle t and the position
+                # of its first live entry (same scan as _peek).
+                t = -1
+                bucket = None
+                pos = 0
+                if self._wheel_live:
+                    now = self.now
+                    while True:
+                        occ = self._occ
+                        if occ == 0:
+                            break
+                        base = now & mask
+                        high = occ >> base
+                        if high:
+                            cand = now + ((high & -high).bit_length() - 1)
+                        else:
+                            cand = (
+                                now + self._wsize - base
+                                + ((occ & -occ).bit_length() - 1)
+                            )
+                        idx = cand & mask
+                        bucket = wheel[idx]
+                        pos = self._drain_pos if cand == self._drain_time else 0
+                        n = len(bucket)
+                        while pos < n:
+                            if bucket[pos][2] is not None:
+                                break
+                            pos += 1
+                        else:
+                            self._reclaim_bucket(idx, bucket)
+                            continue
+                        t = cand
+                        break
+                use_heap = False
+                if t < 0:
+                    if not heap:
+                        break
+                    use_heap = True
+                elif heap:
+                    head = heap[0]
+                    ht = head[0]
+                    if ht < t or (ht == t and head[1] < bucket[pos][1]):
+                        use_heap = True
+                if use_heap:
+                    # Cross-epoch event: fall back to one reference step.
+                    if until is not None and heap[0][0] > until:
+                        break
+                    if max_events is not None and fired >= max_events:
+                        raise RuntimeError(
+                            f"simulation exceeded max_events={max_events}"
+                            f" at cycle {self.now}"
+                        )
+                    cause = "heap-only" if t < 0 else "heap-due"
+                    fallbacks[cause] = fallbacks.get(cause, 0) + 1
+                    entry = pop_next(until)
+                    if entry is None:  # pragma: no cover - guarded above
+                        break
+                    self.now = entry[0]
+                    callback = entry[2]
+                    arg = entry[3]
+                    entry[2] = None
+                    entry[3] = None
+                    try:
+                        if arg is _NO_ARG:
+                            callback()
+                        else:
+                            callback(arg)
+                    except Exception as exc:
+                        exc.add_note(
+                            f"[sim] while firing event seq={entry[1]} at cycle "
+                            f"{entry[0]} (scheduled at cycle {entry[4]})"
+                        )
+                        raise
+                    if entry[5] == (_F_RECYCLABLE | _F_IN_HEAP):
+                        free.append(entry)
+                    fired += 1
+                    if watchdog is not None:
+                        countdown -= 1
+                        if countdown == 0:
+                            watchdog.check()
+                            countdown = check_interval
+                    continue
+                if until is not None and t > until:
+                    break
+                if max_events is not None and fired >= max_events:
+                    # A fireable entry at t remains; raise before the
+                    # clock moves (max_events never touches the clock).
+                    raise RuntimeError(
+                        f"simulation exceeded max_events={max_events}"
+                        f" at cycle {self.now}"
+                    )
+                # Batched drain of cycle t.  No heap event can interleave
+                # (see the docstring), so per-event work is just the
+                # dead-entry skip and the callback itself.
+                epochs += 1
+                self.now = t
+                self._drain_time = t
+                self._drain_pos = pos
+                while True:
+                    pos = self._drain_pos
+                    n = len(bucket)
+                    while pos < n:
+                        e = bucket[pos]
+                        if e[2] is not None:
+                            break
+                        pos += 1
+                    else:
+                        self._drain_pos = pos
+                        break
+                    if max_events is not None and fired >= max_events:
+                        self._drain_pos = pos
+                        raise RuntimeError(
+                            f"simulation exceeded max_events={max_events}"
+                            f" at cycle {self.now}"
+                        )
+                    self._drain_pos = pos + 1
+                    self._wheel_live -= 1
+                    callback = e[2]
+                    arg = e[3]
+                    e[2] = None
+                    e[3] = None
+                    try:
+                        if arg is _NO_ARG:
+                            callback()
+                        else:
+                            callback(arg)
+                    except Exception as exc:
+                        exc.add_note(
+                            f"[sim] while firing event seq={e[1]} at cycle "
+                            f"{e[0]} (scheduled at cycle {e[4]})"
+                        )
+                        raise
+                    fired += 1
+                    batched += 1
+                    if watchdog is not None:
+                        countdown -= 1
+                        if countdown == 0:
+                            watchdog.check()
+                            countdown = check_interval
+        finally:
+            self._epoch_epochs += epochs
+            self._epoch_batched += batched
+        if until is not None and until > self.now:
+            self.now = until
+        return fired
+
+    @property
+    def epoch_stats(self) -> dict:
+        """Epoch-execution counters, accumulated across :meth:`run` calls.
+
+        ``epochs`` — batched cycle drains entered; ``events_batched`` —
+        events fired inside them (the remainder of the fired total went
+        through the per-event fallback); ``spin_polls_elided`` — spin
+        probes replaced by closed-form lease ticks (see
+        :meth:`repro.protocols.base.CoherenceProtocol.spin_poll_lease`);
+        ``fallbacks`` — cause → count of per-event fallback steps.
+        """
+        return {
+            "epochs": self._epoch_epochs,
+            "events_batched": self._epoch_batched,
+            "spin_polls_elided": self._epoch_spin_elided,
+            "fallbacks": dict(sorted(self._epoch_fallbacks.items())),
+        }
 
     @property
     def pending_events(self) -> int:

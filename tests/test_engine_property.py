@@ -93,13 +93,92 @@ def _apply(sim, script):
     return log, checkpoints
 
 
+def _sim(cls, epoch_mode):
+    sim = cls()
+    sim.epoch_mode = epoch_mode
+    return sim
+
+
 @pytest.mark.parametrize("seed", range(12))
-def test_hybrid_matches_reference_heap(seed):
+@pytest.mark.parametrize("epoch_mode", [True, False])
+def test_hybrid_matches_reference_heap(seed, epoch_mode):
+    # With epoch_mode on, the reference subclass keeps everything in the
+    # heap, so its epoch loop takes the heap-only fallback per event —
+    # deliberately exercising both the batched drain (hybrid) and the
+    # fallback path (reference) against each other.
     script = _make_script(seed, 120)
-    log_h, checks_h = _apply(Simulator(), script)
-    log_r, checks_r = _apply(ReferenceHeapSimulator(), script)
+    log_h, checks_h = _apply(_sim(Simulator, epoch_mode), script)
+    log_r, checks_r = _apply(_sim(ReferenceHeapSimulator, epoch_mode), script)
     assert checks_h == checks_r
     assert log_h == log_r
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_epoch_loop_matches_reference_loop(seed):
+    """Same hybrid queue, both run loops: identical logs and checkpoints."""
+    script = _make_script(seed, 120)
+    log_on, checks_on = _apply(_sim(Simulator, True), script)
+    log_off, checks_off = _apply(_sim(Simulator, False), script)
+    assert checks_on == checks_off
+    assert log_on == log_off
+
+
+def test_mid_epoch_cross_core_message_forces_fallback_in_order():
+    """Re-breaking test for the epoch loop's heap check.
+
+    A self-rescheduling local chain keeps the wheel busy; early on it
+    sends a "cross-core message" 2000 cycles out, which lands in the
+    overflow heap with a *smaller* sequence number than the wheel entry
+    later scheduled for the same cycle.  When the frontier reaches that
+    cycle the engine must abandon the batched drain (a "heap-due"
+    fallback) and fire the message first — removing the per-cycle heap
+    check, or firing whole buckets without it, reorders the log and
+    fails this test.
+    """
+    sim = Simulator()
+    log = []
+
+    def local(step):
+        log.append(("local", sim.now))
+        if step < 2500:
+            sim.call_after(1, local, step + 1)
+        if step == 5:
+            # In-flight cross-core message: due exactly when the local
+            # chain's own entry for cycle 2005 exists, but scheduled
+            # (and therefore sequenced) 2000 cycles earlier.
+            sim.call_after(2000, message, None)
+
+    def message(_):
+        log.append(("message", sim.now))
+
+    sim.call_after(0, local, 0)
+    sim.run()
+
+    due = 5 + 2000
+    assert ("message", due) in log
+    position = log.index(("message", due))
+    # The message outranks that cycle's local event (smaller seq).
+    assert log[position + 1] == ("local", due)
+    assert sim.epoch_stats["fallbacks"].get("heap-due", 0) >= 1
+    assert sim.epoch_stats["epochs"] > 0
+
+    # And the reference loop produces the identical interleaving.
+    ref = _sim(Simulator, False)
+    ref_log = []
+
+    def ref_local(step):
+        ref_log.append(("local", ref.now))
+        if step < 2500:
+            ref.call_after(1, ref_local, step + 1)
+        if step == 5:
+            ref.call_after(2000, ref_message, None)
+
+    def ref_message(_):
+        ref_log.append(("message", ref.now))
+
+    ref.call_after(0, ref_local, 0)
+    ref.run()
+    assert ref_log == log
 
 
 def test_reference_heap_never_uses_wheel():
